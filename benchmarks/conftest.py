@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every figure benchmark regenerates its paper artifact with a reduced
+sample count (``BENCH_SAMPLES``; the paper uses 200 — raise it via the
+``TELE3D_BENCH_SAMPLES`` environment variable for a full run), prints
+the same rows the paper reports, and records the series in the
+pytest-benchmark ``extra_info`` so the JSON output carries the data.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SAMPLES = int(os.environ.get("TELE3D_BENCH_SAMPLES", "25"))
+BENCH_SEED = int(os.environ.get("TELE3D_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_samples() -> int:
+    """Workload samples per benchmark point."""
+    return BENCH_SAMPLES
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Root seed for all benchmark runs."""
+    return BENCH_SEED
+
+
+def emit(title: str, text: str) -> None:
+    """Print a result block (visible with ``pytest -s`` or on capture)."""
+    print(f"\n=== {title} ===\n{text}\n")

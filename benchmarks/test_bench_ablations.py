@@ -1,0 +1,139 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **Reservation scope** — lazy (default) vs phase vs global vs off:
+  quantifies the m-hat mechanism's effect on rejection.
+* **Parent policy** — the paper's max-rfc load balancing vs min-cost
+  and first-fit: quantifies the load-balancing claim (Sec. 4.3.1).
+* **CO-RJ repair sweeps** — on-the-fly swaps only vs post-build repair.
+* **Unicast baseline** — the abandoned all-to-all scheme vs the overlay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.all_to_all import DirectUnicastBuilder
+from repro.baselines.sequential import SequentialOrderBuilder
+from repro.core.correlation import CorrelatedRandomJoinBuilder
+from repro.core.metrics import criticality_loss_ratio, rejection_ratio
+from repro.core.node_join import ParentPolicy
+from repro.core.randomized import RandomJoinBuilder
+from repro.experiments.runner import mean_metric_per_builder
+from repro.experiments.settings import ExperimentSetting
+from repro.topology.backbone import load_backbone
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def setting(bench_samples, bench_seed):
+    return ExperimentSetting(
+        workload="random", nodes="uniform",
+        samples=max(5, bench_samples // 2), seed=bench_seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return load_backbone("tier1")
+
+
+def test_reservation_scope_ablation(benchmark, setting, topology):
+    builders = {
+        mode: RandomJoinBuilder(reservation_mode=mode)
+        for mode in ("lazy", "phase", "global", "off")
+    }
+
+    def run():
+        return mean_metric_per_builder(
+            setting, 8, builders, rejection_ratio, topology=topology
+        )
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: reservation scope (RJ, N=8)",
+         "\n".join(f"  {k}: {v:.4f}" for k, v in sorted(means.items())))
+    benchmark.extra_info.update({k: round(v, 4) for k, v in means.items()})
+    # Lazy reservations must not be worse than no reservations by more
+    # than noise: the mechanism is a safety net, not a tax.
+    assert means["lazy"] <= means["off"] * 1.05
+
+
+def test_parent_policy_ablation(benchmark, setting, topology):
+    builders = {
+        policy.value: RandomJoinBuilder(parent_policy=policy)
+        for policy in ParentPolicy
+    }
+
+    def run():
+        return mean_metric_per_builder(
+            setting, 8, builders, rejection_ratio, topology=topology
+        )
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: parent policy (RJ, N=8)",
+         "\n".join(f"  {k}: {v:.4f}" for k, v in sorted(means.items())))
+    benchmark.extra_info.update({k: round(v, 4) for k, v in means.items()})
+    # The paper's load-balancing choice must beat naive first-fit.
+    assert means["max-rfc"] <= means["first-fit"]
+
+
+def test_co_rj_repair_ablation(benchmark, setting, topology):
+    """Paired comparison: identical request shuffles, repair on/off.
+
+    Each repair swap strictly trades a high-criticality rejection for a
+    lower-criticality one, so on paired runs repair can never lose.
+    """
+    from repro.experiments.runner import sample_problems
+    from repro.util.rng import RngStream
+
+    def run():
+        no_repair_total = 0.0
+        repair_total = 0.0
+        count = 0
+        for index, problem in enumerate(
+            sample_problems(setting, 8, topology=topology)
+        ):
+            count += 1
+            for total_is_repair in (False, True):
+                builder = CorrelatedRandomJoinBuilder(
+                    repair_passes=2 if total_is_repair else 0
+                )
+                # Same label for both: identical shuffles, paired runs.
+                result = builder.build(
+                    problem, RngStream(setting.seed, label=f"s{index}")
+                )
+                value = criticality_loss_ratio(result)
+                if total_is_repair:
+                    repair_total += value
+                else:
+                    no_repair_total += value
+        return {
+            "no-repair": no_repair_total / count,
+            "repair-2": repair_total / count,
+        }
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: CO-RJ repair sweeps (criticality loss, N=8)",
+         "\n".join(f"  {k}: {v:.4f}" for k, v in sorted(means.items())))
+    benchmark.extra_info.update({k: round(v, 4) for k, v in means.items()})
+    assert means["repair-2"] <= means["no-repair"] + 1e-12
+
+
+def test_unicast_vs_overlay(benchmark, setting, topology):
+    builders = {
+        "unicast": DirectUnicastBuilder(),
+        "sequential": SequentialOrderBuilder(),
+        "rj": RandomJoinBuilder(),
+    }
+
+    def run():
+        return mean_metric_per_builder(
+            setting, 8, builders, rejection_ratio, topology=topology
+        )
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Baseline: all-to-all unicast vs overlay (N=8)",
+         "\n".join(f"  {k}: {v:.4f}" for k, v in sorted(means.items())))
+    benchmark.extra_info.update({k: round(v, 4) for k, v in means.items()})
+    # The overlay's relaying must beat source-only unicast (Sec. 1).
+    assert means["rj"] < means["unicast"]

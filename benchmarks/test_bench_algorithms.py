@@ -1,0 +1,53 @@
+"""Algorithm-cost micro-benchmarks.
+
+The paper argues RJ is "computationally more simple" than the
+tree-based algorithms, which must sort all multicast groups.  These
+benchmarks time one overlay construction per algorithm on a fixed
+N=10 problem so the runtime comparison is direct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_builder
+from repro.experiments.runner import sample_problems
+from repro.experiments.settings import ExperimentSetting
+from repro.util.rng import RngStream
+
+ALGORITHMS = ("stf", "ltf", "mctf", "rj", "co-rj")
+
+
+@pytest.fixture(scope="module")
+def fixed_problem(bench_seed):
+    setting = ExperimentSetting(
+        workload="random", nodes="uniform", samples=1, seed=bench_seed
+    )
+    return next(iter(sample_problems(setting, 10)))
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_build_cost(benchmark, name, fixed_problem, bench_seed):
+    builder = make_builder(name)
+
+    def run():
+        return builder.build(fixed_problem, RngStream(bench_seed, label=name))
+
+    result = benchmark(run)
+    result.verify()
+    benchmark.extra_info["algorithm"] = name
+    benchmark.extra_info["requests"] = fixed_problem.total_requests()
+    benchmark.extra_info["rejected"] = len(result.rejected)
+
+
+def test_problem_assembly_cost(benchmark, bench_seed):
+    """Cost of drawing a session + workload + problem instance."""
+    setting = ExperimentSetting(
+        workload="random", nodes="uniform", samples=1, seed=bench_seed
+    )
+
+    def assemble():
+        return next(iter(sample_problems(setting, 10)))
+
+    problem = benchmark(assemble)
+    assert problem.n_nodes == 10

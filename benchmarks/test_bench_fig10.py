@@ -1,0 +1,43 @@
+"""Figure 10 benchmark: RJ out-degree utilization and load balance.
+
+N = 4..20 uniform nodes under the random (coverage) workload with a
+constant expected subscriber count per stream.  Paper expectations:
+mean out-degree utilization near 100 %, small cross-node deviation,
+and a substantial relay share (~25 % of out-degree capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.report import series_table
+from repro.experiments.settings import ExperimentSetting
+
+from conftest import emit
+
+
+def test_fig10_utilization(benchmark, bench_samples, bench_seed):
+    setting = replace(
+        ExperimentSetting(
+            workload="random", nodes="uniform", samples=bench_samples,
+            seed=bench_seed,
+        ),
+        mean_subscribers=1.4,
+        guarantee_coverage=False,
+    )
+    result = benchmark.pedantic(
+        run_fig10, args=(setting,), rounds=1, iterations=1
+    )
+    emit("Figure 10 (RJ out-degree utilization vs N)",
+         series_table(result, "N"))
+    for name, values in result.series.items():
+        benchmark.extra_info[name] = [round(v, 4) for v in values]
+    utilization = result.series["out-degree-utilization"]
+    relay = result.series["relay-fraction"]
+    stddev = result.series["utilization-stddev"]
+    # Shape checks: high utilization at every N, meaningful relaying,
+    # bounded cross-node imbalance.
+    assert all(u > 0.85 for u in utilization)
+    assert all(r > 0.05 for r in relay)
+    assert all(s < 0.15 for s in stddev)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Membership dynamics: a site departs mid-session and the overlay rebuilds.
+
+The paper solves a *static* construction problem; the centralized
+membership server simply re-solves it when membership changes.  This
+example quantifies what that costs: how many surviving subscriptions
+change parents (control-plane disruption) and how the rejection ratio
+shifts when a site leaves.
+
+Run:  python examples/membership_dynamics.py
+"""
+
+from repro import make_builder
+from repro.core.problem import ForestProblem
+from repro.session.capacity import HeterogeneousCapacityModel
+from repro.session.session import SessionConfig, build_session
+from repro.sim.churn import rebuild_after_leave
+from repro.topology.backbone import load_backbone
+from repro.util import RngStream, Table
+from repro.workload.coverage import CoverageWorkloadModel
+
+LATENCY_BOUND_MS = 120.0
+
+
+def main() -> None:
+    rng = RngStream(51)
+    topology = load_backbone("tier1")
+    session = build_session(
+        topology,
+        HeterogeneousCapacityModel(),
+        rng.spawn("session"),
+        SessionConfig(n_sites=6),
+    )
+    workload = CoverageWorkloadModel(
+        interest=0.12, popularity="zipf", focus_skew=1.0
+    ).generate(session, rng.spawn("workload"))
+    problem = ForestProblem.from_workload(session, workload, LATENCY_BOUND_MS)
+    print(f"Session: {session}")
+    print(f"Problem: {problem}\n")
+
+    builder = make_builder("rj")
+    table = Table(
+        [
+            "leaving site",
+            "satisfied before",
+            "satisfied after",
+            "parent changes",
+            "disruption",
+            "rejection before",
+            "rejection after",
+        ],
+        title="Departure impact per leaving site (RJ rebuild)",
+    )
+    for leaving in range(session.n_sites):
+        report, _before, _after = rebuild_after_leave(
+            session,
+            workload,
+            leaving,
+            builder,
+            rng.spawn(f"leave-{leaving}"),
+            LATENCY_BOUND_MS,
+        )
+        table.add_row(
+            [
+                f"H{leaving}",
+                report.satisfied_before,
+                report.satisfied_after,
+                report.parent_changes,
+                report.disruption_ratio,
+                report.rejection_ratio_before,
+                report.rejection_ratio_after,
+            ]
+        )
+    print(table.render())
+    print(
+        "\nA full re-solve relocates a sizeable share of surviving"
+        "\nsubscriptions — the cost of the paper's simple static model,"
+        "\nand the motivation for its future-work direction of"
+        "\nincremental overlay maintenance."
+    )
+
+
+if __name__ == "__main__":
+    main()

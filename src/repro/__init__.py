@@ -1,0 +1,173 @@
+"""repro — multi-site 3D tele-immersion publish-subscribe toolkit.
+
+A production-quality reproduction of *"Towards Multi-Site Collaboration
+in 3D Tele-Immersive Environments"* (Wu, Yang, Gupta, Nahrstedt; ICDCS
+2008): the publish-subscribe dissemination model for multi-site 3DTI,
+the overlay forest construction heuristics (LTF / STF / MCTF / RJ /
+Gran-LTF / CO-RJ), and the simulation substrates needed to regenerate
+every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_session, quick_problem, make_builder
+    from repro.util import RngStream
+
+    rng = RngStream(7)
+    session = quick_session(n_sites=6, rng=rng)
+    problem = quick_problem(session, rng=rng, popularity="zipf")
+    result = make_builder("rj").build(problem, rng.spawn("build"))
+    print(result.forest)
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+per-figure reproduction harnesses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ConfigurationError,
+    OverlayError,
+    ProtocolError,
+    SessionError,
+    SimulationError,
+    SubscriptionError,
+    Tele3DError,
+    TopologyError,
+)
+from repro.core import (
+    BuildResult,
+    BuilderState,
+    CorrelatedRandomJoinBuilder,
+    ForestMetrics,
+    ForestProblem,
+    GranularityBuilder,
+    LargestTreeFirstBuilder,
+    MinCapacityTreeFirstBuilder,
+    MulticastGroup,
+    MulticastTree,
+    OverlayBuilder,
+    OverlayForest,
+    ParentPolicy,
+    RandomJoinBuilder,
+    RejectionReason,
+    SmallestTreeFirstBuilder,
+    SubscriptionRequest,
+    available_algorithms,
+    make_builder,
+)
+from repro.session import (
+    HeterogeneousCapacityModel,
+    SessionConfig,
+    StreamId,
+    TISession,
+    UniformCapacityModel,
+    build_session,
+)
+from repro.topology import Topology, load_backbone, place_sites
+from repro.workload import (
+    SubscriptionWorkload,
+    UniformPopularity,
+    WorkloadGenerator,
+    WorkloadSpec,
+    ZipfPopularity,
+)
+from repro.util.rng import RngStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "Tele3DError",
+    "ConfigurationError",
+    "TopologyError",
+    "SessionError",
+    "SubscriptionError",
+    "OverlayError",
+    "ProtocolError",
+    "SimulationError",
+    # core
+    "BuildResult",
+    "BuilderState",
+    "CorrelatedRandomJoinBuilder",
+    "ForestMetrics",
+    "ForestProblem",
+    "GranularityBuilder",
+    "LargestTreeFirstBuilder",
+    "MinCapacityTreeFirstBuilder",
+    "MulticastGroup",
+    "MulticastTree",
+    "OverlayBuilder",
+    "OverlayForest",
+    "ParentPolicy",
+    "RandomJoinBuilder",
+    "RejectionReason",
+    "SmallestTreeFirstBuilder",
+    "SubscriptionRequest",
+    "available_algorithms",
+    "make_builder",
+    # session / topology / workload
+    "HeterogeneousCapacityModel",
+    "SessionConfig",
+    "StreamId",
+    "TISession",
+    "UniformCapacityModel",
+    "build_session",
+    "Topology",
+    "load_backbone",
+    "place_sites",
+    "SubscriptionWorkload",
+    "UniformPopularity",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "ZipfPopularity",
+    "RngStream",
+    # convenience
+    "quick_session",
+    "quick_problem",
+]
+
+
+def quick_session(
+    n_sites: int,
+    rng: RngStream,
+    nodes: str = "uniform",
+    backbone: str = "tier1",
+    displays_per_site: int = 4,
+) -> TISession:
+    """One-call session assembly on an embedded backbone.
+
+    ``nodes`` selects the paper's capacity distribution (``uniform`` or
+    ``heterogeneous``).
+    """
+    if nodes == "uniform":
+        capacity_model = UniformCapacityModel()
+    elif nodes == "heterogeneous":
+        capacity_model = HeterogeneousCapacityModel()
+    else:
+        raise ConfigurationError(
+            f"nodes must be 'uniform' or 'heterogeneous', got {nodes!r}"
+        )
+    topology = load_backbone(backbone)
+    config = SessionConfig(n_sites=n_sites, displays_per_site=displays_per_site)
+    return build_session(topology, capacity_model, rng.spawn("session"), config)
+
+
+def quick_problem(
+    session: TISession,
+    rng: RngStream,
+    popularity: str = "uniform",
+    latency_bound_ms: float = 120.0,
+    spec: WorkloadSpec | None = None,
+) -> ForestProblem:
+    """One-call workload draw + problem assembly for ``session``."""
+    if popularity == "zipf":
+        model = ZipfPopularity()
+    elif popularity in ("uniform", "random"):
+        model = UniformPopularity()
+    else:
+        raise ConfigurationError(
+            f"popularity must be 'zipf' or 'uniform', got {popularity!r}"
+        )
+    generator = WorkloadGenerator(session=session, popularity=model, spec=spec)
+    workload = generator.generate(rng.spawn("workload"))
+    return ForestProblem.from_workload(session, workload, latency_bound_ms)

@@ -1,0 +1,33 @@
+"""Deterministic-order baseline: node join without randomization.
+
+Processing requests in a fixed order (grouped by stream, subscribers
+ascending) isolates the contribution of RJ's shuffling: any gap between
+this builder and RJ is attributable purely to randomized scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.base import OverlayBuilder
+from repro.core.model import MulticastGroup, SubscriptionRequest
+from repro.core.problem import ForestProblem
+from repro.util.rng import RngStream
+
+
+@dataclass
+class SequentialOrderBuilder(OverlayBuilder):
+    """Processes all requests in deterministic problem order.
+
+    Like RJ it opens the whole forest in a single phase (reservations
+    fully in force), so the only difference from RJ is the shuffle.
+    """
+
+    name: str = "sequential"
+
+    def phases(
+        self, problem: ForestProblem, rng: RngStream
+    ) -> Iterator[tuple[list[MulticastGroup], list[SubscriptionRequest]]]:
+        # rng intentionally unused: this baseline is fully deterministic.
+        yield list(problem.groups), problem.all_requests()

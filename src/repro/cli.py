@@ -1,0 +1,217 @@
+"""Command-line front-end: ``tele3d <figure> [options]``.
+
+Regenerates the paper's figures as ASCII tables and terminal plots, e.g.::
+
+    tele3d fig8 --workload zipf --nodes heterogeneous --samples 50
+    tele3d fig9
+    tele3d fig10
+    tele3d fig11
+    tele3d all --samples 200
+    tele3d demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Sequence
+
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import improvement_factor, run_fig11
+from repro.experiments.report import series_plot, series_table
+from repro.experiments.settings import ExperimentSetting
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=200,
+                        help="workload samples per point (paper: 200)")
+    parser.add_argument("--seed", type=int, default=42, help="root RNG seed")
+    parser.add_argument("--backbone", default="tier1",
+                        help="embedded backbone dataset (abilene | tier1)")
+    parser.add_argument("--no-plot", action="store_true",
+                        help="print tables only, skip ASCII plots")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tele3d argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tele3d",
+        description="Reproduce the figures of Wu et al., ICDCS 2008.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p8 = sub.add_parser("fig8", help="rejection ratio vs N (one panel)")
+    p8.add_argument("--workload", choices=("zipf", "random"), default="random")
+    p8.add_argument("--nodes", choices=("uniform", "heterogeneous"),
+                    default="uniform")
+    _add_common(p8)
+
+    p9 = sub.add_parser("fig9", help="granularity analysis")
+    _add_common(p9)
+
+    p10 = sub.add_parser("fig10", help="out-degree utilization")
+    _add_common(p10)
+
+    p11 = sub.add_parser("fig11", help="RJ vs CO-RJ with correlation")
+    _add_common(p11)
+
+    pall = sub.add_parser("all", help="every figure, all panels")
+    _add_common(pall)
+
+    pdemo = sub.add_parser("demo", help="one end-to-end pub-sub round")
+    pdemo.add_argument("--sites", type=int, default=5)
+    pdemo.add_argument("--seed", type=int, default=7)
+
+    pscore = sub.add_parser(
+        "scorecard", help="evaluate every reproduction shape-claim"
+    )
+    pscore.add_argument("--samples", type=int, default=30)
+    pscore.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _setting(args: argparse.Namespace, workload: str, nodes: str) -> ExperimentSetting:
+    return ExperimentSetting(
+        workload=workload,
+        nodes=nodes,
+        samples=args.samples,
+        seed=args.seed,
+        backbone=args.backbone,
+    )
+
+
+def _emit(title: str, result, x_name: str, args: argparse.Namespace,
+          plot_series: list[str] | None = None) -> None:
+    print(series_table(result, x_name, title=title))
+    if not args.no_plot:
+        print()
+        print(series_plot(result, title, include=plot_series))
+    print()
+
+
+def cmd_fig8(args: argparse.Namespace, workload: str | None = None,
+             nodes: str | None = None) -> None:
+    """Run one Fig. 8 panel."""
+    workload = workload or args.workload
+    nodes = nodes or args.nodes
+    setting = _setting(args, workload, nodes)
+    result = run_fig8(setting)
+    _emit(
+        f"Figure 8 ({workload} workload, {nodes} nodes): "
+        "average rejection ratio vs N",
+        result, "N", args,
+    )
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    """Run the granularity analysis."""
+    setting = _setting(args, "random", "uniform")
+    result = run_fig9(setting)
+    _emit("Figure 9: rejection ratio vs granularity (N=10)", result,
+          "granularity", args)
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    """Run the utilization/load-balancing figure."""
+    setting = replace(
+        _setting(args, "random", "uniform"),
+        mean_subscribers=1.4,
+        guarantee_coverage=False,
+    )
+    result = run_fig10(setting)
+    _emit("Figure 10: RJ out-degree utilization vs N", result, "N", args,
+          plot_series=["out-degree-utilization", "relay-fraction"])
+
+
+def cmd_fig11(args: argparse.Namespace) -> None:
+    """Run the correlation figure."""
+    setting = replace(
+        _setting(args, "zipf", "heterogeneous"),
+        interest=0.18,
+        guarantee_coverage=False,
+    )
+    result = run_fig11(setting)
+    _emit("Figure 11: criticality-weighted rejection, RJ vs CO-RJ", result,
+          "N", args, plot_series=["rj", "co-rj"])
+    n_last = result.xs[-1]
+    print(f"CO-RJ improvement at N={n_last}: "
+          f"{improvement_factor(result):.2f}x (criticality-loss ratio), "
+          f"{improvement_factor(result, suffix='-eq3'):.2f}x (Eq. 3 verbatim)")
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    """Every figure, every panel."""
+    for workload in ("zipf", "random"):
+        for nodes in ("heterogeneous", "uniform"):
+            start = time.time()
+            cmd_fig8(args, workload=workload, nodes=nodes)
+            print(f"  [panel took {time.time() - start:.1f}s]\n")
+    cmd_fig9(args)
+    cmd_fig10(args)
+    cmd_fig11(args)
+
+
+def cmd_demo(args: argparse.Namespace) -> None:
+    """One end-to-end pub-sub control round plus a data-plane run."""
+    from repro import make_builder, quick_session
+    from repro.pubsub.system import PubSubSystem
+    from repro.sim.dataplane import ForestDataPlane
+    from repro.util.rng import RngStream
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.uniform import UniformPopularity
+
+    rng = RngStream(args.seed)
+    session = quick_session(n_sites=args.sites, rng=rng)
+    print(f"session: {session}")
+    system = PubSubSystem(session=session, builder=make_builder("rj"))
+    generator = WorkloadGenerator(
+        session=session, popularity=UniformPopularity()
+    )
+    workload = generator.generate(rng.spawn("workload"))
+    for site in session.sites:
+        streams = list(workload.streams_of(site.index))
+        for display in site.displays[:1]:
+            system.subscribe_display(site.index, display.display_id, streams)
+    directive = system.run_control_round(rng.spawn("round"))
+    print(f"directive epoch={directive.epoch}, edges={len(directive.edges)}, "
+          f"rejected={len(directive.rejected)}")
+    result = system.last_result
+    plane = ForestDataPlane(session, result.forest, rng.spawn("dataplane"))
+    report = plane.run(duration_ms=1000.0)
+    print(f"data plane: {report.frames_delivered} deliveries, "
+          f"mean latency {report.mean_latency_ms:.1f}ms, "
+          f"max {report.max_latency_ms:.1f}ms, "
+          f"bound violations {report.bound_violations()}")
+
+
+def cmd_scorecard(args: argparse.Namespace) -> None:
+    """Evaluate and print every reproduction shape-claim."""
+    from repro.experiments.scorecard import full_scorecard, render_scorecard
+
+    claims = full_scorecard(samples=args.samples, seed=args.seed)
+    print(render_scorecard(claims))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "fig8": cmd_fig8,
+        "fig9": cmd_fig9,
+        "fig10": cmd_fig10,
+        "fig11": cmd_fig11,
+        "all": cmd_all,
+        "demo": cmd_demo,
+        "scorecard": cmd_scorecard,
+    }
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

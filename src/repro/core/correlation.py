@@ -1,0 +1,209 @@
+"""CO-RJ: exploiting semantic stream correlation (Sec. 4.4, Fig. 7).
+
+Streams from one site are highly correlated (the cameras capture the
+same scene from different angles), so losing one of four subscribed
+streams from site B degrades a scene, while losing the single subscribed
+stream from site C loses a scene entirely.  The **criticality** for node
+``i`` to lose a stream originating at ``j`` is ``Q_{i->j} = 1/u_{i->j}``
+(Eq. 2).
+
+CO-RJ runs RJ, but whenever a request ``r_i(s_j^p)`` is rejected because
+the tree is saturated it searches for a *victim*: a stream ``s_k^q``
+(``k != j``) such that
+
+1. ``Q_{i->k} < Q_{i->j}`` — the victim is less critical to lose;
+2. ``RP_i`` is a **leaf** in the victim's tree ``T_k`` (detaching it
+   cannot orphan other nodes);
+3. the parent ``h`` of ``RP_i`` in ``T_k`` has already joined the target
+   tree ``T_j`` (so ``h`` has the requested stream and can relay it);
+4. connecting ``i`` under ``h`` in ``T_j`` respects the latency bound.
+
+When all four hold, the edge ``h -> i`` moves from ``T_k`` to ``T_j``:
+``h`` serves ``i`` the more critical stream instead of the less critical
+one, with no degree change at either endpoint (``h`` may itself remain
+saturated, exactly as node F in Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.forest import MulticastTree, OverlayForest
+from repro.core.model import RejectionReason, SubscriptionRequest
+from repro.core.node_join import JoinOutcome
+from repro.core.problem import ForestProblem
+from repro.core.randomized import RandomJoinBuilder
+from repro.core.state import BuilderState
+
+
+def criticality(problem: ForestProblem, subscriber: int, source: int) -> float:
+    """Eq. 2: ``Q_{i->j} = 1 / u_{i->j}`` (infinite when nothing is requested).
+
+    A pair with no requests has infinite criticality, which conveniently
+    makes it ineligible as a CO-RJ victim (nothing to take away).
+    """
+    u = problem.u(subscriber, source)
+    if u == 0:
+        return float("inf")
+    return 1.0 / u
+
+
+@dataclass(frozen=True)
+class _Swap:
+    """A victim candidate: evict ``victim`` and reuse its edge for the target."""
+
+    victim: SubscriptionRequest
+    victim_tree: MulticastTree
+    parent: int
+    quality: float  # the victim's criticality (lower = better victim)
+
+
+@dataclass
+class CorrelatedRandomJoinBuilder(RandomJoinBuilder):
+    """CO-RJ: RJ plus the correlation-aware victim swap on saturation.
+
+    ``swap_on_inbound`` extends the swap to inbound-saturated rejections
+    as well: the swap replaces one received stream with another, so the
+    subscriber's in-degree is unchanged and the mechanism applies to
+    both saturation modes.  The paper's text names tree saturation only;
+    the extension is on by default because inbound saturation is the
+    other face of the same criticality trade (disable it for the
+    strictest reading).
+    """
+
+    name: str = "co-rj"
+    swap_on_inbound: bool = True
+    #: Number of post-build repair sweeps: rejected requests are
+    #: re-offered the victim swap against the *completed* forest (the
+    #: target tree has far more members by then, so condition (3) —
+    #: a victim parent that already joined the target tree — holds much
+    #: more often).  0 restores the strictly on-the-fly behaviour.
+    repair_passes: int = 2
+
+    def on_rejected(
+        self,
+        problem: ForestProblem,
+        state: BuilderState,
+        forest: OverlayForest,
+        request: SubscriptionRequest,
+        outcome: JoinOutcome,
+    ) -> bool:
+        """Attempt the Sec. 4.4 swap; returns True when the swap happened."""
+        swappable = {RejectionReason.TREE_SATURATED}
+        if self.swap_on_inbound:
+            swappable.add(RejectionReason.INBOUND_SATURATED)
+        if outcome.reason not in swappable:
+            return False
+        swap = self._find_victim(problem, forest, request)
+        if swap is None:
+            return False
+        self._apply_swap(problem, state, forest, request, swap)
+        return True
+
+    def build(self, problem: ForestProblem, rng: RngStream):  # type: ignore[override]
+        """RJ build, then criticality-ordered swap repair sweeps."""
+        result = super().build(problem, rng)
+        for _ in range(max(0, self.repair_passes)):
+            if not self._repair_sweep(problem, result):
+                break
+        return result
+
+    def _repair_sweep(self, problem: ForestProblem, result) -> bool:
+        """One sweep over rejected requests, most critical first.
+
+        Returns True when at least one swap was applied (so another
+        sweep may find newly enabled opportunities).
+        """
+        forest = result.forest
+        state = result.state
+        pending = [
+            request
+            for request, reason in forest.rejected
+            if reason is not RejectionReason.VICTIM_SWAPPED
+        ]
+        pending.sort(
+            key=lambda r: (-criticality(problem, r.subscriber, r.source), r)
+        )
+        progressed = False
+        for request in pending:
+            if request.subscriber in forest.tree(request.stream):
+                continue  # already satisfied by an earlier swap this sweep
+            swap = self._find_victim(problem, forest, request)
+            if swap is None:
+                continue
+            self._remove_rejection(forest, request)
+            self._apply_swap(problem, state, forest, request, swap)
+            progressed = True
+        return progressed
+
+    @staticmethod
+    def _remove_rejection(forest: OverlayForest, request: SubscriptionRequest) -> None:
+        """Drop ``request``'s rejection record prior to re-satisfying it."""
+        for index, (rejected, _reason) in enumerate(forest.rejected):
+            if rejected == request:
+                del forest.rejected[index]
+                return
+        raise ValueError(f"{request} is not recorded as rejected")
+
+    # -- internals ---------------------------------------------------------------
+
+    def _find_victim(
+        self,
+        problem: ForestProblem,
+        forest: OverlayForest,
+        request: SubscriptionRequest,
+    ) -> _Swap | None:
+        """Scan constructed trees for the best victim meeting all 4 conditions."""
+        subscriber = request.subscriber
+        own_q = criticality(problem, subscriber, request.source)
+        target_tree = forest.tree(request.stream)
+        best: _Swap | None = None
+        for stream, tree in forest.trees.items():
+            if stream.site == request.source:  # condition (1): k != j
+                continue
+            victim_q = criticality(problem, subscriber, stream.site)
+            if not victim_q < own_q:  # condition (1): strictly less critical
+                continue
+            if not tree.is_leaf(subscriber):  # condition (2)
+                continue
+            parent = tree.parent(subscriber)
+            if parent is None or parent not in target_tree:  # condition (3)
+                continue
+            new_cost = target_tree.cost_from_source(parent) + problem.edge_cost(
+                parent, subscriber
+            )
+            if new_cost >= problem.latency_bound_ms:  # condition (4)
+                continue
+            candidate = _Swap(
+                victim=SubscriptionRequest(subscriber=subscriber, stream=stream),
+                victim_tree=tree,
+                parent=parent,
+                quality=victim_q,
+            )
+            if best is None or (candidate.quality, str(stream)) < (
+                best.quality,
+                str(best.victim.stream),
+            ):
+                best = candidate
+        return best
+
+    def _apply_swap(
+        self,
+        problem: ForestProblem,
+        state: BuilderState,
+        forest: OverlayForest,
+        request: SubscriptionRequest,
+        swap: _Swap,
+    ) -> None:
+        """Move the edge ``parent -> subscriber`` from the victim tree to T_j."""
+        subscriber = request.subscriber
+        # Detach first so the node's degrees are net-unchanged afterwards.
+        swap.victim_tree.detach_leaf(subscriber)
+        state.record_detach(swap.victim_tree, swap.parent, subscriber)
+        target_tree = forest.tree(request.stream)
+        edge_cost = problem.edge_cost(swap.parent, subscriber)
+        target_tree.attach(swap.parent, subscriber, edge_cost)
+        state.record_attach(target_tree, swap.parent, subscriber)
+        forest.satisfied.remove(swap.victim)
+        forest.rejected.append((swap.victim, RejectionReason.VICTIM_SWAPPED))
+        forest.satisfied.append(request)

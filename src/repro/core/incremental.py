@@ -1,0 +1,143 @@
+"""Incremental overlay maintenance (the paper's future-work direction).
+
+The paper solves the *static* construction problem and re-solves it on
+any change.  This module adds the obvious incremental operations a
+deployment needs between full re-solves:
+
+* :func:`add_subscription` — join one new request into an existing
+  forest with the basic node-join algorithm (optionally with the CO-RJ
+  victim swap as fallback);
+* :func:`remove_subscription` — drop a satisfied leaf request and
+  release its resources (interior nodes must keep relaying, exactly as
+  an RP keeps forwarding a stream its own displays stopped watching);
+* :func:`churn_rate` — how much of the existing forest a full re-solve
+  would move, for deciding *when* a re-solve is worth it.
+
+Incremental joins never move existing edges, so satisfied users are
+never disturbed; the price is that the incremental answer can be worse
+than a fresh solve (quantified by :func:`churn_rate` tests).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OverlayError, SubscriptionError
+from repro.core.base import BuildResult
+from repro.core.correlation import CorrelatedRandomJoinBuilder
+from repro.core.model import RejectionReason, SubscriptionRequest
+from repro.core.node_join import JoinOutcome, ParentPolicy, try_join
+
+
+def add_subscription(
+    result: BuildResult,
+    request: SubscriptionRequest,
+    use_swap: bool = False,
+    policy: ParentPolicy = ParentPolicy.MAX_RFC,
+) -> JoinOutcome:
+    """Join one new request into an already-built overlay.
+
+    The request must reference a stream whose multicast group exists in
+    the problem (the membership server's advertisement matching happens
+    upstream); re-adding a currently-satisfied request is an error.
+
+    With ``use_swap=True`` a rejection falls back to the CO-RJ victim
+    swap (Sec. 4.4) before giving up.
+    """
+    problem = result.problem
+    if not 0 <= request.subscriber < problem.n_nodes:
+        raise SubscriptionError(f"unknown subscriber {request.subscriber}")
+    if request in result.forest.satisfied:
+        raise OverlayError(f"{request} is already satisfied")
+
+    state = result.state
+    forest = result.forest
+    state.open_group(request.stream)
+    tree = forest.tree(request.stream)
+    outcome = try_join(problem, state, tree, request.subscriber, policy=policy)
+    if outcome.accepted:
+        forest.satisfied.append(request)
+        _drop_rejection_record(result, request)
+        return outcome
+
+    if use_swap:
+        swapper = CorrelatedRandomJoinBuilder(repair_passes=0)
+        _drop_rejection_record(result, request)
+        if swapper.on_rejected(problem, state, forest, request, outcome):
+            satisfied_cost = tree.cost_from_source(request.subscriber)
+            return JoinOutcome(
+                accepted=True,
+                parent=tree.parent(request.subscriber),
+                path_cost_ms=satisfied_cost,
+            )
+        forest.rejected.append((request, outcome.reason))
+        return outcome
+
+    if not _has_rejection_record(result, request):
+        forest.rejected.append((request, outcome.reason))
+    return outcome
+
+
+def remove_subscription(
+    result: BuildResult, request: SubscriptionRequest
+) -> None:
+    """Drop one *satisfied* request from the overlay.
+
+    Only leaf subscribers release resources immediately; an interior
+    subscriber keeps its edge because its subtree still needs the
+    stream (the RP keeps relaying), and only its local delivery stops —
+    we model that by leaving the forest untouched but removing the
+    request from the satisfied set.
+    """
+    forest = result.forest
+    if request not in forest.satisfied:
+        raise OverlayError(f"{request} is not satisfied")
+    tree = forest.trees.get(request.stream)
+    if tree is None or request.subscriber not in tree:
+        raise OverlayError(f"{request} has no tree node to remove")
+    forest.satisfied.remove(request)
+    if tree.is_leaf(request.subscriber):
+        parent = tree.detach_leaf(request.subscriber)
+        result.state.record_detach(tree, parent, request.subscriber)
+
+
+def churn_rate(before: BuildResult, after: BuildResult) -> float:
+    """Fraction of commonly-satisfied requests whose parent moved.
+
+    Compares two builds of (possibly different) problems over the same
+    node space — typically the incremental state versus a fresh
+    re-solve — and reports how disruptive adopting ``after`` would be.
+    """
+    before_parents = {
+        request: before.forest.trees[request.stream].parent(request.subscriber)
+        for request in before.satisfied
+    }
+    common = [
+        request
+        for request in after.satisfied
+        if request in before_parents
+    ]
+    if not common:
+        return 0.0
+    moved = sum(
+        1
+        for request in common
+        if after.forest.trees[request.stream].parent(request.subscriber)
+        != before_parents[request]
+    )
+    return moved / len(common)
+
+
+def _has_rejection_record(
+    result: BuildResult, request: SubscriptionRequest
+) -> bool:
+    return any(rejected == request for rejected, _ in result.forest.rejected)
+
+
+def _drop_rejection_record(
+    result: BuildResult, request: SubscriptionRequest
+) -> None:
+    """Remove a stale rejection record for ``request`` if one exists."""
+    rejected = result.forest.rejected
+    for index, (recorded, _reason) in enumerate(rejected):
+        if recorded == request:
+            del rejected[index]
+            return

@@ -1,0 +1,139 @@
+"""The basic node-join algorithm (Sec. 4.3.1, Appendix A, Fig. 6).
+
+Joining ``RP_i`` into the existing tree ``T_s``:
+
+1. **Inbound check** — reject immediately when ``din_i >= I_i``.
+2. **Parent search** — among current tree members ``k`` (which, by
+   membership, already have the stream) that still have free out-degree
+   (``dout_k < O_k``) and satisfy the latency bound
+   (``cost(source->k in tree) + c(k, i) < B_cost``), pick the parent with
+   the **maximum remaining forwarding capacity**
+   ``rfc_k = O_k - dout_k - m̂_k`` — the load-balancing heart of the
+   scheme — requiring ``rfc_k > 0``.
+3. **Reservation** — when the tree consists of the source alone (its
+   stream not yet disseminated), the source is eligible regardless of its
+   rfc: the outbound slot counted by ``m̂`` was reserved precisely for
+   this first dissemination.  (Because trees grow from the source, "not
+   yet disseminated" is equivalent to "the tree has no other member".)
+4. If no candidate survives, the tree is *saturated* and the request is
+   rejected.
+
+Fidelity note: the paper's pseudo-code handles the already-reserved
+source with the comparison ``O_k - m̂ > max`` without subtracting
+``dout`` and without updating ``max``; we treat the source uniformly via
+its rfc once the stream is disseminated (and document this as the one
+interpretation choice — it preserves the stated intent of load
+balancing and reproduces the Fig. 6 worked example exactly).
+
+Alternative ``ParentPolicy`` values exist for the ablation baselines:
+``MIN_COST`` picks the latency-closest eligible parent and ``FIRST_FIT``
+the first eligible member, both ignoring rfc.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import OverlayError
+from repro.core.forest import MulticastTree
+from repro.core.model import RejectionReason
+from repro.core.problem import ForestProblem
+from repro.core.state import BuilderState
+
+
+class ParentPolicy(enum.Enum):
+    """How the node-join algorithm chooses among eligible parents."""
+
+    #: The paper's policy: maximize remaining forwarding capacity.
+    MAX_RFC = "max-rfc"
+    #: Ablation: minimize the resulting source->subscriber path latency.
+    MIN_COST = "min-cost"
+    #: Ablation: first eligible member in insertion order.
+    FIRST_FIT = "first-fit"
+
+
+@dataclass(frozen=True)
+class JoinOutcome:
+    """Result of one join attempt."""
+
+    accepted: bool
+    parent: int | None = None
+    path_cost_ms: float | None = None
+    reason: RejectionReason | None = None
+
+    def __post_init__(self) -> None:
+        if self.accepted and self.parent is None:
+            raise OverlayError("accepted join must name a parent")
+        if not self.accepted and self.reason is None:
+            raise OverlayError("rejected join must carry a reason")
+
+
+def try_join(
+    problem: ForestProblem,
+    state: BuilderState,
+    tree: MulticastTree,
+    subscriber: int,
+    policy: ParentPolicy = ParentPolicy.MAX_RFC,
+) -> JoinOutcome:
+    """Attempt to join ``subscriber`` into ``tree``; mutates on success.
+
+    On acceptance the tree gains the edge ``parent -> subscriber`` and
+    the builder state is updated (degrees, reservation release).  On
+    rejection nothing is mutated.
+    """
+    if subscriber in tree:
+        raise OverlayError(
+            f"node {subscriber} is already in tree {tree.stream}"
+        )
+    if not state.inbound_free(subscriber):
+        return JoinOutcome(
+            accepted=False, reason=RejectionReason.INBOUND_SATURATED
+        )
+
+    candidate = _find_parent(problem, state, tree, subscriber, policy)
+    if candidate is None:
+        return JoinOutcome(accepted=False, reason=RejectionReason.TREE_SATURATED)
+
+    edge_cost = problem.edge_cost(candidate, subscriber)
+    path_cost = tree.cost_from_source(candidate) + edge_cost
+    tree.attach(candidate, subscriber, edge_cost)
+    state.record_attach(tree, candidate, subscriber)
+    return JoinOutcome(accepted=True, parent=candidate, path_cost_ms=path_cost)
+
+
+def _find_parent(
+    problem: ForestProblem,
+    state: BuilderState,
+    tree: MulticastTree,
+    subscriber: int,
+    policy: ParentPolicy,
+) -> int | None:
+    """Select a parent for ``subscriber`` under ``policy``; None if saturated."""
+    best: int | None = None
+    best_rfc = 0  # MAX_RFC requires strictly positive rfc (paper's max <- 0)
+    best_cost = float("inf")
+    for member in tree.members():
+        if not state.outbound_free(member):
+            continue
+        path_cost = tree.cost_from_source(member) + problem.edge_cost(
+            member, subscriber
+        )
+        if path_cost >= problem.latency_bound_ms:
+            continue
+        if policy is ParentPolicy.FIRST_FIT:
+            return member
+        if policy is ParentPolicy.MIN_COST:
+            if path_cost < best_cost:
+                best, best_cost = member, path_cost
+            continue
+        # MAX_RFC (the paper's policy)
+        if member == tree.source and not tree.disseminated:
+            # Reserved slot: the source may always serve the first
+            # dissemination of its own stream (rfc not consulted).
+            best = member
+            continue
+        rfc = state.rfc(member)
+        if rfc > best_rfc:
+            best, best_rfc = member, rfc
+    return best

@@ -1,0 +1,220 @@
+"""The Forest Construction Problem instance (Sec. 4.2).
+
+A :class:`ForestProblem` bundles everything an overlay builder needs:
+
+* the completely-connected RP graph with latency edge costs ``c(e)``;
+* per-node in/out degree bounds ``I(v)``, ``O(v)`` in stream units;
+* the multicast groups ``G(s)`` derived from the workload;
+* the end-to-end latency bound ``B_cost``.
+
+Finding a forest satisfying two or more such constraints is NP-complete
+(Wang & Crowcroft, cited in the paper), hence the heuristics in the
+sibling modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError, SubscriptionError
+from repro.core.model import MulticastGroup, SubscriptionRequest
+from repro.session.session import TISession
+from repro.session.streams import StreamId
+from repro.workload.spec import SubscriptionWorkload
+
+
+@dataclass
+class ForestProblem:
+    """One overlay-construction instance over RP nodes ``0..n_nodes-1``."""
+
+    n_nodes: int
+    cost: dict[int, dict[int, float]]
+    inbound: dict[int, int]
+    outbound: dict[int, int]
+    groups: list[MulticastGroup]
+    latency_bound_ms: float
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.latency_bound_ms <= 0:
+            raise ConfigurationError(
+                f"latency_bound_ms must be positive, got {self.latency_bound_ms}"
+            )
+        for node in range(self.n_nodes):
+            if node not in self.inbound or node not in self.outbound:
+                raise ConfigurationError(f"missing degree bounds for node {node}")
+            if self.inbound[node] < 0 or self.outbound[node] < 0:
+                raise ConfigurationError(f"negative degree bound at node {node}")
+            row = self.cost.get(node)
+            if row is None:
+                raise ConfigurationError(f"missing cost row for node {node}")
+            for other in range(self.n_nodes):
+                if other not in row:
+                    raise ConfigurationError(f"missing cost entry {node}->{other}")
+                if row[other] < 0:
+                    raise ConfigurationError(f"negative cost {node}->{other}")
+        seen_streams: set[StreamId] = set()
+        for group in self.groups:
+            if group.stream in seen_streams:
+                raise SubscriptionError(f"duplicate group for stream {group.stream}")
+            seen_streams.add(group.stream)
+            if not 0 <= group.source < self.n_nodes:
+                raise SubscriptionError(
+                    f"group source {group.source} out of range for {group.stream}"
+                )
+            for member in group.subscribers:
+                if not 0 <= member < self.n_nodes:
+                    raise SubscriptionError(
+                        f"group member {member} out of range for {group.stream}"
+                    )
+        self._u: dict[int, dict[int, int]] = self._compute_u()
+
+    # -- derived data ------------------------------------------------------------
+
+    def _compute_u(self) -> dict[int, dict[int, int]]:
+        u: dict[int, dict[int, int]] = {}
+        for group in self.groups:
+            for member in group.subscribers:
+                row = u.setdefault(member, {})
+                row[group.source] = row.get(group.source, 0) + 1
+        return u
+
+    @property
+    def n_groups(self) -> int:
+        """The paper's ``F`` — number of trees the forest must contain."""
+        return len(self.groups)
+
+    def u(self, subscriber: int, source: int) -> int:
+        """``u_{i->j}``: streams of ``source`` requested by ``subscriber``."""
+        return self._u.get(subscriber, {}).get(source, 0)
+
+    def u_matrix(self) -> dict[int, dict[int, int]]:
+        """A copy of the full (sparse) ``u`` matrix."""
+        return {i: dict(row) for i, row in self._u.items()}
+
+    def total_requests(self) -> int:
+        """Total number of subscription requests across all groups."""
+        return sum(group.size for group in self.groups)
+
+    def all_requests(self) -> list[SubscriptionRequest]:
+        """Every request, grouped by stream, in deterministic order."""
+        out: list[SubscriptionRequest] = []
+        for group in sorted(self.groups, key=lambda g: g.stream):
+            out.extend(group.requests())
+        return out
+
+    def edge_cost(self, a: int, b: int) -> float:
+        """Latency cost ``c(a, b)`` between two RP nodes."""
+        return self.cost[a][b]
+
+    def inbound_limit(self, node: int) -> int:
+        """``I(node)`` in stream units."""
+        return self.inbound[node]
+
+    def outbound_limit(self, node: int) -> int:
+        """``O(node)`` in stream units."""
+        return self.outbound[node]
+
+    def streams_to_send(self, node: int) -> int:
+        """The paper's ``m_i``: streams of ``node`` wanted by >= 1 other RP."""
+        return sum(1 for group in self.groups if group.source == node)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_workload(
+        cls,
+        session: TISession,
+        workload: SubscriptionWorkload,
+        latency_bound_ms: float,
+    ) -> "ForestProblem":
+        """Assemble a problem instance from a session and one workload sample."""
+        if workload.n_sites != session.n_sites:
+            raise SubscriptionError(
+                f"workload covers {workload.n_sites} sites but session has "
+                f"{session.n_sites}"
+            )
+        for site, streams in workload.subscriptions.items():
+            for stream in streams:
+                if stream not in session.registry:
+                    raise SubscriptionError(
+                        f"site {site} subscribes to unpublished stream {stream}"
+                    )
+        groups = [
+            MulticastGroup(stream=stream, subscribers=members)
+            for stream, members in sorted(workload.groups().items())
+        ]
+        return cls(
+            n_nodes=session.n_sites,
+            cost=session.cost_matrix(),
+            inbound={s.index: s.rp.inbound_limit for s in session.sites},
+            outbound={s.index: s.rp.outbound_limit for s in session.sites},
+            groups=groups,
+            latency_bound_ms=latency_bound_ms,
+        )
+
+    @classmethod
+    def from_tables(
+        cls,
+        cost: Mapping[int, Mapping[int, float]],
+        inbound: Mapping[int, int],
+        outbound: Mapping[int, int],
+        group_members: Mapping[StreamId, frozenset[int] | set[int]],
+        latency_bound_ms: float,
+    ) -> "ForestProblem":
+        """Assemble a problem directly from explicit tables (tests, examples)."""
+        n_nodes = len(inbound)
+        groups = [
+            MulticastGroup(stream=stream, subscribers=frozenset(members))
+            for stream, members in sorted(group_members.items())
+        ]
+        return cls(
+            n_nodes=n_nodes,
+            cost={i: dict(row) for i, row in cost.items()},
+            inbound=dict(inbound),
+            outbound=dict(outbound),
+            groups=groups,
+            latency_bound_ms=latency_bound_ms,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"ForestProblem(nodes={self.n_nodes}, groups={self.n_groups}, "
+            f"requests={self.total_requests()}, Bcost={self.latency_bound_ms}ms)"
+        )
+
+
+@dataclass
+class ProblemStats:
+    """Aggregate statistics of a problem instance (for reports)."""
+
+    n_nodes: int
+    n_groups: int
+    n_requests: int
+    mean_group_size: float
+    density: float = field(default=0.0)
+
+    @classmethod
+    def of(cls, problem: ForestProblem) -> "ProblemStats":
+        """Compute stats; *density* is mean requested in-degree / capacity."""
+        n_requests = problem.total_requests()
+        mean_size = n_requests / problem.n_groups if problem.n_groups else 0.0
+        demand = {i: 0 for i in range(problem.n_nodes)}
+        for group in problem.groups:
+            for member in group.subscribers:
+                demand[member] += 1
+        ratios = [
+            demand[i] / problem.inbound_limit(i)
+            for i in range(problem.n_nodes)
+            if problem.inbound_limit(i) > 0
+        ]
+        density = sum(ratios) / len(ratios) if ratios else 0.0
+        return cls(
+            n_nodes=problem.n_nodes,
+            n_groups=problem.n_groups,
+            n_requests=n_requests,
+            mean_group_size=mean_size,
+            density=density,
+        )

@@ -1,0 +1,157 @@
+"""Shared builder state: degrees and the reservation mechanism.
+
+The forest's trees share each node's bandwidth, so the builder tracks
+cross-tree state:
+
+* ``din / dout`` — actual in/out degree of every RP across the forest;
+* ``m_hat`` — the paper's ``m̂_i``: streams that originate at ``i``, are
+  subscribed by at least one other RP, but have *not yet been
+  disseminated out* to any node.  One outbound slot per such stream is
+  reserved so a whole tree cannot fail because its source was saturated
+  by other trees (Sec. 4.3.1);
+* ``rfc_i = O_i - dout_i - m̂_i`` — remaining forwarding capacity, the
+  load-balancing key of the basic node-join algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OverlayError
+from repro.core.forest import MulticastTree
+from repro.core.problem import ForestProblem
+from repro.session.streams import StreamId
+
+
+class BuilderState:
+    """Cross-tree degree and reservation accounting for one build.
+
+    **Reservation scope.**  ``m̂`` counts streams "not yet disseminated
+    out ... in the existing forest".  A scheduler can only reserve
+    outbound slots for trees it has *opened* (started constructing):
+    a tree-at-a-time algorithm has no reservations standing for trees it
+    has not reached yet, whereas RJ opens the whole forest at once and
+    therefore protects every source's first dissemination from the
+    start.  This difference is precisely what makes granularity matter
+    (Sec. 5.3): small granularity lets early trees consume the outbound
+    capacity later sources would have needed, causing whole-tree
+    failures.  Builders open groups via :meth:`open_group` at the start
+    of each construction phase.
+    """
+
+    def __init__(self, problem: ForestProblem, reservations: bool = True) -> None:
+        self.problem = problem
+        self.reservations = reservations
+        self.din: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
+        self.dout: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
+        # m_i is the static paper quantity (streams of i subscribed by
+        # >= 1 other RP); m̂_i only grows as groups are opened.
+        self.m: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
+        self.m_hat: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
+        self._opened: set[StreamId] = set()
+        for group in problem.groups:
+            self.m[group.source] += 1
+
+    # -- reservation scope ---------------------------------------------------------
+
+    def open_group(self, stream: StreamId) -> None:
+        """Begin constructing ``stream``'s tree: reserve its source slot.
+
+        Idempotent: opening an already-open group is a no-op.  With
+        ``reservations=False`` only the opened-set bookkeeping happens
+        (the no-reservation ablation).
+        """
+        if stream in self._opened:
+            return
+        self._opened.add(stream)
+        if self.reservations:
+            self.m_hat[stream.site] += 1
+
+    def is_open(self, stream: StreamId) -> bool:
+        """True once :meth:`open_group` has been called for ``stream``."""
+        return stream in self._opened
+
+    # -- queries -----------------------------------------------------------------
+
+    def rfc(self, node: int) -> int:
+        """Remaining forwarding capacity ``O_i - dout_i - m̂_i``."""
+        return self.problem.outbound_limit(node) - self.dout[node] - self.m_hat[node]
+
+    def inbound_free(self, node: int) -> bool:
+        """True while ``din_i < I_i``."""
+        return self.din[node] < self.problem.inbound_limit(node)
+
+    def outbound_free(self, node: int) -> bool:
+        """True while ``dout_i < O_i``."""
+        return self.dout[node] < self.problem.outbound_limit(node)
+
+    # -- mutations ---------------------------------------------------------------
+
+    def record_attach(self, tree: MulticastTree, parent: int, child: int) -> None:
+        """Account for a new tree edge ``parent -> child``.
+
+        Must be called *after* :meth:`MulticastTree.attach` so the tree's
+        dissemination flag reflects the new edge.  When the edge is the
+        first dissemination of the tree's stream, the source's reserved
+        slot is released (``m̂`` decremented) — the reservation was spent
+        on exactly this edge.
+        """
+        self.dout[parent] += 1
+        self.din[child] += 1
+        if (
+            self.reservations
+            and parent == tree.source
+            and self._first_dissemination(tree)
+        ):
+            self.m_hat[tree.source] -= 1
+            if self.m_hat[tree.source] < 0:
+                raise OverlayError(
+                    f"reservation underflow at node {tree.source} "
+                    f"for stream {tree.stream}"
+                )
+
+    def record_detach(self, tree: MulticastTree, parent: int, child: int) -> None:
+        """Account for a removed leaf edge (CO-RJ victim eviction).
+
+        If the source no longer relays the stream to anyone, the stream
+        is once again "not disseminated" and its reservation slot must be
+        re-established.
+        """
+        self.dout[parent] -= 1
+        self.din[child] -= 1
+        if self.dout[parent] < 0 or self.din[child] < 0:
+            raise OverlayError(
+                f"degree underflow removing edge {parent}->{child} "
+                f"for stream {tree.stream}"
+            )
+        if self.reservations and parent == tree.source and not tree.disseminated:
+            self.m_hat[tree.source] += 1
+
+    def _first_dissemination(self, tree: MulticastTree) -> bool:
+        """True when the tree has exactly one source child (just added)."""
+        return len(tree.children(tree.source)) == 1
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`OverlayError` if any degree bound is violated."""
+        for node in range(self.problem.n_nodes):
+            if self.din[node] > self.problem.inbound_limit(node):
+                raise OverlayError(
+                    f"node {node} exceeds inbound bound: "
+                    f"{self.din[node]} > {self.problem.inbound_limit(node)}"
+                )
+            if self.dout[node] > self.problem.outbound_limit(node):
+                raise OverlayError(
+                    f"node {node} exceeds outbound bound: "
+                    f"{self.dout[node]} > {self.problem.outbound_limit(node)}"
+                )
+            if self.m_hat[node] < 0:
+                raise OverlayError(f"negative m̂ at node {node}")
+
+    def snapshot(self) -> dict[str, dict[int, int]]:
+        """A defensive copy of the degree tables (for tests/metrics)."""
+        return {
+            "din": dict(self.din),
+            "dout": dict(self.dout),
+            "m": dict(self.m),
+            "m_hat": dict(self.m_hat),
+        }

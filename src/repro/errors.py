@@ -1,0 +1,40 @@
+"""Exception hierarchy for the 3DTI publish-subscribe toolkit.
+
+All library-raised exceptions derive from :class:`Tele3DError` so callers
+can catch everything the toolkit may raise with a single ``except`` clause
+while still being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class Tele3DError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(Tele3DError):
+    """A user-supplied parameter is invalid or inconsistent."""
+
+
+class TopologyError(Tele3DError):
+    """The network topology is malformed (disconnected, bad node, ...)."""
+
+
+class SessionError(Tele3DError):
+    """A 3DTI session is misconfigured (duplicate site, missing RP, ...)."""
+
+
+class SubscriptionError(Tele3DError):
+    """A subscription request references unknown sites or streams."""
+
+
+class OverlayError(Tele3DError):
+    """The overlay builder was driven into an inconsistent state."""
+
+
+class ProtocolError(Tele3DError):
+    """A control-plane message violated the pub-sub protocol."""
+
+
+class SimulationError(Tele3DError):
+    """The discrete-event simulator detected an internal inconsistency."""

@@ -1,0 +1,31 @@
+"""Experiment harnesses regenerating every figure of the evaluation.
+
+One module per paper artifact:
+
+* :mod:`repro.experiments.fig8`  — rejection ratio vs. N, 4 panels;
+* :mod:`repro.experiments.fig9`  — granularity analysis;
+* :mod:`repro.experiments.fig10` — out-degree utilization / load balance;
+* :mod:`repro.experiments.fig11` — RJ vs CO-RJ under the correlation
+  metric;
+
+plus :mod:`repro.experiments.runner` (sampling machinery shared by all)
+and :mod:`repro.experiments.settings` (the canonical Sec. 5.1 settings).
+"""
+
+from repro.experiments.settings import ExperimentSetting
+from repro.experiments.runner import SeriesResult, sample_problems, sweep_mean_metric
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+
+__all__ = [
+    "ExperimentSetting",
+    "SeriesResult",
+    "sample_problems",
+    "sweep_mean_metric",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+]

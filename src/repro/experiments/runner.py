@@ -1,0 +1,117 @@
+"""Shared sweep machinery: sample problems, average metrics.
+
+Each sample redraws site placement, node capacities and the subscription
+workload (the paper averages across 200 subscription samples); every
+algorithm sees the *same* problem instance per sample, making the
+comparison paired.  All randomness derives from the setting's seed via
+named sub-streams, so every figure is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.core.base import BuildResult, OverlayBuilder
+from repro.core.problem import ForestProblem
+from repro.experiments.settings import ExperimentSetting
+from repro.session.session import SessionConfig, build_session
+from repro.topology.backbone import load_backbone
+from repro.topology.graph import Topology
+from repro.util.rng import RngStream
+
+
+@dataclass
+class SeriesResult:
+    """One figure's data: x-axis plus named y-series."""
+
+    xs: list[int]
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_point(self, name: str, value: float) -> None:
+        """Append a y value to series ``name``."""
+        self.series.setdefault(name, []).append(value)
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows of [x, y1, y2, ...] aligned with sorted series names."""
+        names = sorted(self.series)
+        rows: list[list[object]] = []
+        for idx, x in enumerate(self.xs):
+            rows.append([x] + [self.series[name][idx] for name in names])
+        return rows
+
+    def names(self) -> list[str]:
+        """Sorted series names."""
+        return sorted(self.series)
+
+
+def sample_problems(
+    setting: ExperimentSetting,
+    n_sites: int,
+    topology: Topology | None = None,
+) -> Iterator[ForestProblem]:
+    """Yield ``setting.samples`` independent problem instances.
+
+    Passing a pre-loaded ``topology`` shares its shortest-path cache
+    across samples and sweeps.
+    """
+    topology = topology or load_backbone(setting.backbone)
+    capacity_model = setting.capacity_model()
+    workload_model = setting.workload_model()
+    root = RngStream(setting.seed, label=setting.label())
+    for index in range(setting.samples):
+        rng = root.spawn(f"N{n_sites}/sample{index}")
+        session = build_session(
+            topology,
+            capacity_model,
+            rng.spawn("session"),
+            SessionConfig(
+                n_sites=n_sites, displays_per_site=setting.displays_per_site
+            ),
+        )
+        workload = workload_model.generate(session, rng.spawn("workload"))
+        yield ForestProblem.from_workload(
+            session, workload, setting.latency_bound_ms
+        )
+
+
+def mean_metric_per_builder(
+    setting: ExperimentSetting,
+    n_sites: int,
+    builders: dict[str, OverlayBuilder],
+    metric: Callable[[BuildResult], float],
+    topology: Topology | None = None,
+) -> dict[str, float]:
+    """Average ``metric`` over all samples, per builder (paired runs)."""
+    totals = {name: 0.0 for name in builders}
+    count = 0
+    build_root = RngStream(setting.seed, label=f"{setting.label()}-build")
+    for index, problem in enumerate(
+        sample_problems(setting, n_sites, topology=topology)
+    ):
+        count += 1
+        for name, builder in builders.items():
+            rng = build_root.spawn(f"N{n_sites}/sample{index}/{name}")
+            result = builder.build(problem, rng)
+            totals[name] += metric(result)
+    if count == 0:
+        return {name: 0.0 for name in builders}
+    return {name: total / count for name, total in totals.items()}
+
+
+def sweep_mean_metric(
+    setting: ExperimentSetting,
+    n_sites_values: Sequence[int],
+    builders: dict[str, OverlayBuilder],
+    metric: Callable[[BuildResult], float],
+) -> SeriesResult:
+    """Run :func:`mean_metric_per_builder` across an N sweep."""
+    topology = load_backbone(setting.backbone)
+    result = SeriesResult(xs=list(n_sites_values))
+    for n_sites in n_sites_values:
+        means = mean_metric_per_builder(
+            setting, n_sites, builders, metric, topology=topology
+        )
+        for name, value in means.items():
+            result.add_point(name, value)
+    return result

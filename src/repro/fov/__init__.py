@@ -1,0 +1,35 @@
+"""FOV-based subscription framework (the ViewCast-like substrate).
+
+The paper (Sec. 3.2) requires a subscription framework with two key
+functionalities: (1) let a participant specify a preferred field of view
+(FOV) in the cyber-space, and (2) convert that FOV into the concrete
+subset of streams contributing to it (Fig. 4).  This package implements
+both on a simple geometric model:
+
+* cameras sit on a ring around each site's capture stage, each with a
+  pose (position + viewing direction);
+* an FOV is an eye point, a look-at target and an angular extent;
+* a stream's *contribution* to an FOV scores how much of the subject the
+  camera sees from the FOV's side (front-facing cameras score highest,
+  matching the paper's observation that front cameras are the most
+  popular);
+* :class:`repro.fov.viewcast.ViewCastSelector` ranks streams by
+  contribution and emits the top-k subscription set.
+"""
+
+from repro.fov.geometry import Pose, Vec3, angle_between_deg
+from repro.fov.camera import camera_ring
+from repro.fov.viewpoint import FieldOfView
+from repro.fov.contribution import contribution_score, rank_streams
+from repro.fov.viewcast import ViewCastSelector
+
+__all__ = [
+    "Pose",
+    "Vec3",
+    "angle_between_deg",
+    "camera_ring",
+    "FieldOfView",
+    "contribution_score",
+    "rank_streams",
+    "ViewCastSelector",
+]

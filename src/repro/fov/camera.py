@@ -1,0 +1,53 @@
+"""Camera-array geometry: rings of inward-facing 3D cameras.
+
+Real 3DTI sites (e.g. TEEVE) surround the capture stage with cameras at
+various angles (Fig. 4 of the paper numbers them 1..8 around the
+subject).  :func:`camera_ring` reproduces that layout: ``n`` cameras
+equally spaced on a circle, all aimed at the stage centre.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fov.geometry import ORIGIN, Pose, Vec3
+
+
+def camera_ring(
+    n_cameras: int,
+    radius: float = 3.0,
+    height: float = 1.5,
+    center: Vec3 = ORIGIN,
+    phase_deg: float = 0.0,
+) -> list[Pose]:
+    """Place ``n_cameras`` inward-facing cameras on a ring.
+
+    Parameters
+    ----------
+    n_cameras:
+        Number of cameras (>= 1).
+    radius:
+        Ring radius in metres.
+    height:
+        Camera height above the stage plane.
+    center:
+        Stage centre the cameras aim at.
+    phase_deg:
+        Rotation offset of camera 0, in degrees (0 = +x axis, which we
+        treat as the "front" of the subject).
+    """
+    if n_cameras < 1:
+        raise ValueError(f"n_cameras must be >= 1, got {n_cameras}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    poses = []
+    for k in range(n_cameras):
+        theta = math.radians(phase_deg) + 2.0 * math.pi * k / n_cameras
+        position = Vec3(
+            center.x + radius * math.cos(theta),
+            center.y + radius * math.sin(theta),
+            center.z + height,
+        )
+        subject = Vec3(center.x, center.y, center.z + height * 0.7)
+        poses.append(Pose.look_at(position, subject))
+    return poses

@@ -1,0 +1,70 @@
+"""Stream-to-FOV contribution scoring.
+
+Figure 4 of the paper shows an FOV in the cyber-space for which the
+streams from cameras 1, 2, 7, 8 are "the four most contributing": the
+cameras on the viewer's side of the subject.  A camera captures the
+surface the viewer sees when it films the subject from the same side
+the virtual eye looks from — i.e. when its viewing direction is
+*aligned* with the user's view direction.  We score each camera by that
+alignment angle, attenuated when the camera lies outside the FOV cone.
+
+The absolute numbers are a modelling choice (the paper delegates scoring
+to a subscription framework such as ViewCast); what matters downstream is
+the *ranking*, which this model reproduces: front-facing cameras rank
+first, profile cameras next, rear cameras last.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.fov.geometry import Pose, angle_between_deg
+from repro.fov.viewpoint import FieldOfView
+from repro.session.streams import StreamId
+
+
+def contribution_score(fov: FieldOfView, camera: Pose) -> float:
+    """Score one camera's contribution to ``fov`` in [0, 1].
+
+    The score is the product of two factors:
+
+    * **facing** — how well the camera's viewing direction aligns with
+      the user's view direction (1 when the camera films the subject
+      from exactly the viewer's side, 0 when it sees only the far
+      side of the subject);
+    * **in-cone** — a smooth attenuation by the angular distance of the
+      camera position from the FOV axis, which becomes 0 outside the
+      cone's ``half_angle_deg``.
+    """
+    view_dir = fov.view_direction
+    # Alignment angle: 0 deg when the camera looks along the view axis,
+    # i.e. it films the subject surface the viewer sees.
+    alignment = angle_between_deg(camera.direction, view_dir)
+    facing = max(0.0, math.cos(math.radians(alignment)))
+
+    to_camera = camera.position - fov.eye
+    if to_camera.norm() == 0.0:
+        off_axis = 0.0
+    else:
+        off_axis = angle_between_deg(to_camera, view_dir)
+    if off_axis >= fov.half_angle_deg:
+        in_cone = 0.0
+    else:
+        in_cone = math.cos(math.radians(90.0 * off_axis / fov.half_angle_deg))
+    return facing * in_cone
+
+
+def rank_streams(
+    fov: FieldOfView,
+    cameras: Sequence[tuple[StreamId, Pose]],
+) -> list[tuple[StreamId, float]]:
+    """Rank ``(stream, pose)`` pairs by descending contribution to ``fov``.
+
+    Ties break by stream id so the ranking is deterministic.
+    """
+    scored = [
+        (stream_id, contribution_score(fov, pose)) for stream_id, pose in cameras
+    ]
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored

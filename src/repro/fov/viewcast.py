@@ -1,0 +1,85 @@
+"""ViewCast-style FOV-to-streams selection.
+
+This is functionality (2) required of the subscription framework in
+Sec. 3.2: convert a specified FOV into the concrete subset of streams
+contributing to it.  The selector ranks every candidate remote stream by
+:func:`repro.fov.contribution.contribution_score` and keeps the top ``k``
+whose score clears a floor — the "set of most correlated streams with
+respect to this viewpoint" of the ViewCast footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SubscriptionError
+from repro.fov.contribution import rank_streams
+from repro.fov.geometry import Pose
+from repro.fov.viewpoint import FieldOfView
+from repro.session.streams import StreamId
+
+
+@dataclass
+class ViewCastSelector:
+    """Maps FOVs to subscription sets over a camera-pose catalogue.
+
+    Parameters
+    ----------
+    camera_poses:
+        Catalogue of every published stream's camera pose, keyed by
+        stream id.  Poses of different sites are expected to be expressed
+        in that site's stage-local coordinates together with the FOV.
+    max_streams:
+        The ``k`` in top-k selection (the display's rendering budget —
+        the paper measured ~10 ms render cost per stream, which bounds
+        how many streams one display can usefully subscribe to).
+    min_score:
+        Streams scoring at or below this floor never enter the
+        subscription, even if the budget is not filled.
+    """
+
+    camera_poses: Mapping[StreamId, Pose]
+    max_streams: int = 4
+    min_score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_streams < 1:
+            raise SubscriptionError(
+                f"max_streams must be >= 1, got {self.max_streams}"
+            )
+        if self.min_score < 0.0:
+            raise SubscriptionError(
+                f"min_score must be non-negative, got {self.min_score}"
+            )
+
+    def select(
+        self,
+        fov: FieldOfView,
+        candidates: Sequence[StreamId] | None = None,
+    ) -> list[StreamId]:
+        """Return the top-k contributing streams for ``fov``.
+
+        Parameters
+        ----------
+        fov:
+            The user's preferred field of view.
+        candidates:
+            Restrict selection to these streams (e.g. only streams of the
+            site being looked at); defaults to the whole catalogue.
+        """
+        if candidates is None:
+            pool = list(self.camera_poses)
+        else:
+            pool = list(candidates)
+            for stream_id in pool:
+                if stream_id not in self.camera_poses:
+                    raise SubscriptionError(f"unknown stream {stream_id}")
+        pairs = [(stream_id, self.camera_poses[stream_id]) for stream_id in pool]
+        ranked = rank_streams(fov, pairs)
+        selected = [
+            stream_id
+            for stream_id, score in ranked[: self.max_streams]
+            if score > self.min_score
+        ]
+        return selected

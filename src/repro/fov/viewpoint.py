@@ -1,0 +1,53 @@
+"""Field-of-view specification.
+
+The paper lets a user configure a preferred FOV per display as either a
+rendering viewpoint of the cyber-space or an explicit subset of streams.
+:class:`FieldOfView` models the viewpoint form: an eye position, a
+look-at target (typically a remote participant's stage) and an angular
+extent.  The explicit-subset form is handled directly by the workload
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fov.geometry import Pose, Vec3
+
+
+@dataclass(frozen=True)
+class FieldOfView:
+    """A rendering viewpoint with an angular extent.
+
+    Attributes
+    ----------
+    eye:
+        The virtual camera (user's viewpoint) position in the cyber-space.
+    target:
+        The point being looked at (usually a remote subject's centre).
+    half_angle_deg:
+        Half of the angular extent of the view cone; streams whose
+        capture direction lies far outside this cone contribute little.
+    """
+
+    eye: Vec3
+    target: Vec3
+    half_angle_deg: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.half_angle_deg <= 180.0:
+            raise ValueError(
+                f"half_angle_deg must be in (0, 180], got {self.half_angle_deg}"
+            )
+        if self.eye == self.target:
+            raise ValueError("eye and target must differ")
+
+    @property
+    def pose(self) -> Pose:
+        """The viewpoint as a pose (position + direction)."""
+        return Pose.look_at(self.eye, self.target)
+
+    @property
+    def view_direction(self) -> Vec3:
+        """Unit vector from the eye toward the target."""
+        return self.pose.direction

@@ -1,0 +1,12 @@
+"""Synthetic 3D media model.
+
+The real system's cameras produce 640x480 depth+color macroblock streams
+(~180 Mbps raw, 5-10 Mbps after the reduction pipeline).  This package
+models just enough of that for the data-plane simulator: frame sizes,
+capture cadence, and per-stream sources.
+"""
+
+from repro.media.frames import Frame3D, FrameClock
+from repro.media.source import CameraSource
+
+__all__ = ["Frame3D", "FrameClock", "CameraSource"]

@@ -1,0 +1,79 @@
+"""Synthetic 3D video frames.
+
+A frame is one capture instant of one camera's depth+color stream.  Frame
+sizes follow the paper's numbers: at 15 fps a 5-10 Mbps compressed stream
+yields roughly 40-80 KB per frame; we model size variation around that
+mean (compression efficiency varies with motion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.session.streams import StreamId
+from repro.util.rng import RngStream
+
+#: The capture rate used throughout the paper's arithmetic.
+DEFAULT_FPS = 15.0
+
+
+@dataclass(frozen=True)
+class Frame3D:
+    """One captured 3D frame."""
+
+    stream_id: StreamId
+    sequence: int
+    capture_time_ms: float
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ConfigurationError(f"negative sequence {self.sequence}")
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"non-positive frame size {self.size_bytes}")
+
+
+@dataclass
+class FrameClock:
+    """Deterministic frame-size/cadence model for one stream."""
+
+    stream_id: StreamId
+    bandwidth_mbps: float = 7.5
+    fps: float = DEFAULT_FPS
+    size_jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_mbps}"
+            )
+        if self.fps <= 0:
+            raise ConfigurationError(f"fps must be positive, got {self.fps}")
+        if not 0.0 <= self.size_jitter < 1.0:
+            raise ConfigurationError(
+                f"size_jitter must be in [0, 1), got {self.size_jitter}"
+            )
+
+    @property
+    def interval_ms(self) -> float:
+        """Milliseconds between consecutive captures."""
+        return 1000.0 / self.fps
+
+    @property
+    def mean_frame_bytes(self) -> int:
+        """Average frame size implied by bandwidth and fps."""
+        return max(1, int(self.bandwidth_mbps * 1e6 / 8.0 / self.fps))
+
+    def frame(self, sequence: int, capture_time_ms: float, rng: RngStream) -> Frame3D:
+        """Materialize the ``sequence``-th frame with jittered size."""
+        mean = self.mean_frame_bytes
+        low = 1.0 - self.size_jitter
+        high = 1.0 + self.size_jitter
+        size = max(1, int(mean * rng.uniform(low, high)))
+        return Frame3D(
+            stream_id=self.stream_id,
+            sequence=sequence,
+            capture_time_ms=capture_time_ms,
+            size_bytes=size,
+        )

@@ -1,0 +1,34 @@
+"""Publish-subscribe control plane (Sec. 3 of the paper).
+
+The 3D cameras are publishers, the 3D displays subscribers, and one
+rendezvous point (RP) per site mediates: it forms a star to the local
+devices, aggregates the displays' subscriptions, and reports them to a
+centralized membership server.  The server solves the overlay
+construction problem and dictates to every RP its forwarding table.
+
+* :mod:`repro.pubsub.messages` — the control message vocabulary;
+* :mod:`repro.pubsub.rp` — the per-site RP agent;
+* :mod:`repro.pubsub.membership` — the centralized membership server;
+* :mod:`repro.pubsub.system` — the end-to-end façade used by examples
+  and the data-plane simulator.
+"""
+
+from repro.pubsub.messages import (
+    Advertisement,
+    DisplaySubscription,
+    OverlayDirective,
+    SiteSubscription,
+)
+from repro.pubsub.rp import RPAgent
+from repro.pubsub.membership import MembershipServer
+from repro.pubsub.system import PubSubSystem
+
+__all__ = [
+    "Advertisement",
+    "DisplaySubscription",
+    "OverlayDirective",
+    "SiteSubscription",
+    "RPAgent",
+    "MembershipServer",
+    "PubSubSystem",
+]

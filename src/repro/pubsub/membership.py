@@ -1,0 +1,98 @@
+"""The centralized membership server (Sec. 3.2).
+
+3DTI sessions are small-to-medium sized, so the paper takes the
+centralized approach for simplicity: every RP reports its aggregated
+subscription, the server assembles the global subscription workload,
+solves the overlay construction problem with a pluggable builder, and
+dictates the resulting forest to all RPs as an :class:`OverlayDirective`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.core.base import BuildResult, OverlayBuilder
+from repro.core.problem import ForestProblem
+from repro.pubsub.messages import Advertisement, OverlayDirective, SiteSubscription
+from repro.session.session import TISession
+from repro.session.streams import StreamId
+from repro.util.rng import RngStream
+from repro.workload.spec import SubscriptionWorkload
+
+
+@dataclass
+class MembershipServer:
+    """Collects subscriptions, solves the overlay, emits directives."""
+
+    session: TISession
+    builder: OverlayBuilder
+    latency_bound_ms: float = 120.0
+    _advertised: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
+    _subscriptions: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
+    _epoch: int = 0
+    _last_result: BuildResult | None = None
+
+    # -- registration ------------------------------------------------------------
+
+    def register_advertisement(self, advertisement: Advertisement) -> None:
+        """Record which streams a site publishes."""
+        self._check_site(advertisement.site)
+        for stream in advertisement.streams:
+            if stream not in self.session.registry:
+                raise ProtocolError(
+                    f"site {advertisement.site} advertises unknown stream {stream}"
+                )
+        self._advertised[advertisement.site] = advertisement.streams
+
+    def register_subscription(self, subscription: SiteSubscription) -> None:
+        """Record a site's aggregated subscription (replaces previous)."""
+        self._check_site(subscription.site)
+        self._subscriptions[subscription.site] = subscription.streams
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.session.n_sites:
+            raise ProtocolError(f"unknown site {site}")
+
+    # -- overlay construction ------------------------------------------------------
+
+    def global_workload(self) -> SubscriptionWorkload:
+        """Assemble the global subscription workload from the reports.
+
+        Subscriptions to streams that were never advertised are dropped
+        (the publisher is gone), mirroring broker-side matching of
+        interests against advertisements.
+        """
+        available: set[StreamId] = set()
+        for streams in self._advertised.values():
+            available.update(streams)
+        site_sets = {
+            site: tuple(s for s in streams if s in available)
+            for site, streams in self._subscriptions.items()
+        }
+        return SubscriptionWorkload.from_site_sets(self.session.n_sites, site_sets)
+
+    def build_overlay(self, rng: RngStream) -> OverlayDirective:
+        """Solve the forest problem and emit the next directive."""
+        workload = self.global_workload()
+        problem = ForestProblem.from_workload(
+            self.session, workload, self.latency_bound_ms
+        )
+        result = self.builder.build(problem, rng)
+        self._last_result = result
+        self._epoch += 1
+        edges = tuple(sorted(result.forest.edges()))
+        rejected = tuple(result.rejected)
+        return OverlayDirective(epoch=self._epoch, edges=edges, rejected=rejected)
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Number of control rounds completed."""
+        return self._epoch
+
+    @property
+    def last_result(self) -> BuildResult | None:
+        """The most recent build result (None before the first round)."""
+        return self._last_result

@@ -1,0 +1,92 @@
+"""Control-plane message vocabulary.
+
+All messages are immutable value objects; the control flow is:
+
+1. each display sends a :class:`DisplaySubscription` to its local RP;
+2. each RP aggregates them into a :class:`SiteSubscription` (the union of
+   its displays' stream sets, minus local streams) and publishes an
+   :class:`Advertisement` of its local streams;
+3. the membership server answers with one :class:`OverlayDirective` per
+   round, carrying every tree edge of the constructed forest plus the
+   rejected requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.core.model import RejectionReason, SubscriptionRequest
+from repro.session.streams import StreamId
+
+
+@dataclass(frozen=True)
+class DisplaySubscription:
+    """A display's desired stream set (already resolved from its FOV)."""
+
+    display_id: str
+    site: int
+    streams: tuple[StreamId, ...]
+
+    def __post_init__(self) -> None:
+        for stream in self.streams:
+            if stream.site == self.site:
+                raise ProtocolError(
+                    f"display {self.display_id} subscribes to local stream {stream}"
+                )
+
+
+@dataclass(frozen=True)
+class SiteSubscription:
+    """An RP's aggregated subscription: union over its local displays."""
+
+    site: int
+    streams: tuple[StreamId, ...]
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """An RP's advertisement of the streams its site publishes."""
+
+    site: int
+    streams: tuple[StreamId, ...]
+
+    def __post_init__(self) -> None:
+        for stream in self.streams:
+            if stream.site != self.site:
+                raise ProtocolError(
+                    f"site {self.site} advertises foreign stream {stream}"
+                )
+
+
+@dataclass(frozen=True)
+class OverlayDirective:
+    """The membership server's answer: the forest, edge by edge.
+
+    Attributes
+    ----------
+    epoch:
+        Monotonic control-round counter.
+    edges:
+        All relay edges as (stream, parent site, child site).
+    rejected:
+        Requests the overlay could not satisfy, with reasons.
+    """
+
+    epoch: int
+    edges: tuple[tuple[StreamId, int, int], ...]
+    rejected: tuple[tuple[SubscriptionRequest, RejectionReason], ...] = field(
+        default_factory=tuple
+    )
+
+    def edges_of_site(self, site: int) -> list[tuple[StreamId, int]]:
+        """Outgoing forwarding entries of ``site``: (stream, child)."""
+        return [
+            (stream, child)
+            for stream, parent, child in self.edges
+            if parent == site
+        ]
+
+    def streams_received_by(self, site: int) -> set[StreamId]:
+        """Streams that arrive at ``site`` on some tree edge."""
+        return {stream for stream, _, child in self.edges if child == site}

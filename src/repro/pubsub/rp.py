@@ -1,0 +1,123 @@
+"""The rendezvous-point agent.
+
+Within a site the RP forms a star network to the cameras and displays:
+it collects all local streams for publication and receives all streams
+intended for local participants (Sec. 3.1).  This agent implements the
+control-plane half of that role — subscription aggregation and the
+forwarding table — which the data-plane simulator then executes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.pubsub.messages import (
+    Advertisement,
+    DisplaySubscription,
+    OverlayDirective,
+    SiteSubscription,
+)
+from repro.session.entities import Site
+from repro.session.streams import StreamId
+
+
+class RPAgent:
+    """Control-plane state machine of one site's rendezvous point."""
+
+    def __init__(self, site: Site) -> None:
+        self.site = site
+        self._display_subs: dict[str, tuple[StreamId, ...]] = {}
+        self._forwarding: dict[StreamId, list[int]] = {}
+        self._receiving: set[StreamId] = set()
+        self._epoch = -1
+
+    # -- local star: displays ------------------------------------------------------
+
+    def submit_display_subscription(self, subscription: DisplaySubscription) -> None:
+        """Accept a display's stream set; replaces any previous one."""
+        if subscription.site != self.site.index:
+            raise ProtocolError(
+                f"display {subscription.display_id} belongs to site "
+                f"{subscription.site}, not {self.site.index}"
+            )
+        known = {display.display_id for display in self.site.displays}
+        if subscription.display_id not in known:
+            raise ProtocolError(
+                f"unknown display {subscription.display_id!r} at site "
+                f"{self.site.index}"
+            )
+        self._display_subs[subscription.display_id] = subscription.streams
+
+    def clear_display_subscription(self, display_id: str) -> None:
+        """Drop a display's subscription (display switched off)."""
+        self._display_subs.pop(display_id, None)
+
+    def aggregate_subscription(self) -> SiteSubscription:
+        """Union of the local displays' subscriptions (Sec. 3.2).
+
+        "Each RP requests only those streams that are subscribed by at
+        least one of its local displays."
+        """
+        union: set[StreamId] = set()
+        for streams in self._display_subs.values():
+            union.update(streams)
+        return SiteSubscription(
+            site=self.site.index, streams=tuple(sorted(union))
+        )
+
+    # -- local star: cameras ---------------------------------------------------------
+
+    def advertisement(self) -> Advertisement:
+        """Advertise the streams the local camera array publishes."""
+        return Advertisement(
+            site=self.site.index, streams=tuple(sorted(self.site.stream_ids))
+        )
+
+    # -- overlay directive -----------------------------------------------------------
+
+    def apply_directive(self, directive: OverlayDirective) -> None:
+        """Install the forwarding table dictated by the membership server."""
+        if directive.epoch <= self._epoch:
+            raise ProtocolError(
+                f"stale directive epoch {directive.epoch} at site "
+                f"{self.site.index} (current {self._epoch})"
+            )
+        forwarding: dict[StreamId, list[int]] = {}
+        for stream, child in directive.edges_of_site(self.site.index):
+            forwarding.setdefault(stream, []).append(child)
+        self._forwarding = forwarding
+        self._receiving = directive.streams_received_by(self.site.index)
+        self._epoch = directive.epoch
+
+    # -- forwarding-table queries ------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the installed directive (-1 before the first one)."""
+        return self._epoch
+
+    def next_hops(self, stream: StreamId) -> list[int]:
+        """Children sites this RP must relay ``stream`` to."""
+        return list(self._forwarding.get(stream, []))
+
+    def is_receiving(self, stream: StreamId) -> bool:
+        """True when some tree edge delivers ``stream`` to this site."""
+        return stream in self._receiving
+
+    def received_streams(self) -> set[StreamId]:
+        """All streams delivered to this site by the current overlay."""
+        return set(self._receiving)
+
+    def displays_for(self, stream: StreamId) -> list[str]:
+        """Local displays whose subscription includes ``stream``."""
+        return [
+            display_id
+            for display_id, streams in self._display_subs.items()
+            if stream in streams
+        ]
+
+    def satisfied_fraction(self) -> float:
+        """Fraction of this site's aggregated subscription actually arriving."""
+        wanted = set(self.aggregate_subscription().streams)
+        if not wanted:
+            return 1.0
+        return len(wanted & self._receiving) / len(wanted)

@@ -1,0 +1,34 @@
+"""3DTI session model: sites, devices, streams, and capacity distributions.
+
+A session (Fig. 1 of the paper) is a set of geographically dispersed
+sites, each hosting an array of 3D cameras (publishers), an array of 3D
+displays (subscribers) and one rendezvous point (RP).  This package
+defines those entities, the stream namespace ``s_j^q`` (stream ``q``
+originating at site ``H_j``), and the two node-resource distributions
+used in the evaluation (Sec. 5.1).
+"""
+
+from repro.session.entities import Camera3D, Display3D, RendezvousPoint, Site
+from repro.session.streams import StreamDescriptor, StreamId, StreamRegistry
+from repro.session.capacity import (
+    CapacityAssignment,
+    HeterogeneousCapacityModel,
+    UniformCapacityModel,
+)
+from repro.session.session import SessionConfig, TISession, build_session
+
+__all__ = [
+    "Camera3D",
+    "Display3D",
+    "RendezvousPoint",
+    "Site",
+    "StreamDescriptor",
+    "StreamId",
+    "StreamRegistry",
+    "CapacityAssignment",
+    "HeterogeneousCapacityModel",
+    "UniformCapacityModel",
+    "SessionConfig",
+    "TISession",
+    "build_session",
+]

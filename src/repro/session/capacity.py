@@ -1,0 +1,136 @@
+"""Node resource distributions from the paper's evaluation (Sec. 5.1).
+
+Capacities are expressed in *stream units* — how many concurrent streams
+an RP can receive (``I_i``) or send (``O_i``).  The paper evaluates two
+distributions:
+
+* **uniform** — ``O_i = I_i = 20 ± eps`` with ``eps ~ U(0, 5]``; every
+  site publishes 20 streams;
+* **heterogeneous** — 50 % of sites have capacity 30, 25 % have 20 and
+  25 % have 10; each site publishes ``U{10..30}`` streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class CapacityAssignment:
+    """Per-site resources: degree bounds and published stream count."""
+
+    inbound_limit: int
+    outbound_limit: int
+    n_streams: int
+
+    def __post_init__(self) -> None:
+        if self.inbound_limit < 1:
+            raise ConfigurationError(f"inbound_limit must be >= 1, got {self.inbound_limit}")
+        if self.outbound_limit < 1:
+            raise ConfigurationError(f"outbound_limit must be >= 1, got {self.outbound_limit}")
+        if self.n_streams < 1:
+            raise ConfigurationError(f"n_streams must be >= 1, got {self.n_streams}")
+
+
+class CapacityModel(Protocol):
+    """Strategy producing per-site capacity assignments."""
+
+    name: str
+
+    def assign(self, n_sites: int, rng: RngStream) -> list[CapacityAssignment]:
+        """Produce one assignment per site."""
+        ...
+
+
+@dataclass
+class UniformCapacityModel:
+    """The paper's *uniform* distribution: ``O = I = base ± jitter``.
+
+    ``eps`` is drawn uniformly in ``(0, jitter]`` and added or subtracted
+    with equal probability, giving capacities in ``[base - jitter,
+    base + jitter]``; every site publishes ``streams_per_site`` streams.
+    """
+
+    base: int = 20
+    jitter: int = 5
+    streams_per_site: int = 20
+    name: str = "uniform"
+
+    def assign(self, n_sites: int, rng: RngStream) -> list[CapacityAssignment]:
+        """One ``20 ± eps`` assignment per site (defaults per Sec. 5.1)."""
+        if n_sites < 1:
+            raise ConfigurationError(f"n_sites must be >= 1, got {n_sites}")
+        assignments = []
+        for _ in range(n_sites):
+            eps = rng.uniform(0.0, float(self.jitter))
+            sign = 1 if rng.random() < 0.5 else -1
+            capacity = max(1, round(self.base + sign * eps))
+            assignments.append(
+                CapacityAssignment(
+                    inbound_limit=capacity,
+                    outbound_limit=capacity,
+                    n_streams=self.streams_per_site,
+                )
+            )
+        return assignments
+
+
+@dataclass
+class HeterogeneousCapacityModel:
+    """The paper's *heterogeneous* distribution.
+
+    Fifty percent of the nodes get ``large`` capacity, twenty-five percent
+    ``medium`` and twenty-five percent ``small`` (largest-remainder
+    apportionment, then shuffled); stream counts are uniform in
+    ``[streams_low, streams_high]``.
+    """
+
+    large: int = 30
+    medium: int = 20
+    small: int = 10
+    streams_low: int = 10
+    streams_high: int = 30
+    name: str = "heterogeneous"
+
+    def assign(self, n_sites: int, rng: RngStream) -> list[CapacityAssignment]:
+        """Apportion 50/25/25 capacities and uniform stream counts."""
+        if n_sites < 1:
+            raise ConfigurationError(f"n_sites must be >= 1, got {n_sites}")
+        if self.streams_low > self.streams_high:
+            raise ConfigurationError(
+                f"streams_low ({self.streams_low}) exceeds streams_high "
+                f"({self.streams_high})"
+            )
+        capacities = self._apportion(n_sites)
+        rng.shuffle(capacities)
+        assignments = []
+        for capacity in capacities:
+            n_streams = rng.randint(self.streams_low, self.streams_high)
+            assignments.append(
+                CapacityAssignment(
+                    inbound_limit=capacity,
+                    outbound_limit=capacity,
+                    n_streams=n_streams,
+                )
+            )
+        return assignments
+
+    def _apportion(self, n_sites: int) -> list[int]:
+        """Largest-remainder apportionment of the 50/25/25 split."""
+        shares = [(self.large, 0.50), (self.medium, 0.25), (self.small, 0.25)]
+        counts = [int(n_sites * fraction) for _, fraction in shares]
+        remainders = [
+            (n_sites * fraction - count, idx)
+            for idx, ((_, fraction), count) in enumerate(zip(shares, counts))
+        ]
+        leftover = n_sites - sum(counts)
+        for _, idx in sorted(remainders, reverse=True)[:leftover]:
+            counts[idx] += 1
+        deck: list[int] = []
+        for (capacity, _), count in zip(shares, counts):
+            deck.extend([capacity] * count)
+        return deck

@@ -1,0 +1,179 @@
+"""Session assembly: topology + sites + streams + capacities.
+
+:func:`build_session` reproduces the paper's experimental setup in one
+call: select PoPs on a backbone for the N sites, draw per-site capacities
+from a :class:`~repro.session.capacity.CapacityModel`, create one camera
+(hence one published stream) per capacity-assigned stream slot, and a
+fixed display array per site.  The resulting :class:`TISession` exposes
+the pairwise RP latency matrix the overlay layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SessionError
+from repro.fov.camera import camera_ring
+from repro.session.capacity import CapacityAssignment, CapacityModel
+from repro.session.entities import Camera3D, Display3D, RendezvousPoint, Site
+from repro.session.streams import StreamDescriptor, StreamId, StreamRegistry
+from repro.topology.graph import Topology
+from repro.topology.placement import place_sites
+from repro.util.rng import RngStream
+
+
+@dataclass
+class SessionConfig:
+    """Knobs of :func:`build_session`."""
+
+    n_sites: int = 4
+    displays_per_site: int = 4
+    placement: str = "random"
+    camera_ring_radius: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise SessionError(f"n_sites must be >= 1, got {self.n_sites}")
+        if self.displays_per_site < 1:
+            raise SessionError(
+                f"displays_per_site must be >= 1, got {self.displays_per_site}"
+            )
+
+
+@dataclass
+class TISession:
+    """A fully-assembled multi-site 3DTI session.
+
+    Attributes
+    ----------
+    topology:
+        The WAN backbone the RPs sit on.
+    sites:
+        Site objects indexed 0..N-1 (site ``i`` is the paper's ``H_i``).
+    registry:
+        Namespace of every published stream ``s_j^q``.
+    """
+
+    topology: Topology
+    sites: list[Site]
+    registry: StreamRegistry
+    _cost_matrix: dict[int, dict[int, float]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        seen_pops: set[str] = set()
+        for expected, site in enumerate(self.sites):
+            if site.index != expected:
+                raise SessionError(
+                    f"site list must be indexed contiguously; position {expected} "
+                    f"holds site {site.index}"
+                )
+            if site.pop_id in seen_pops:
+                raise SessionError(f"two sites share PoP {site.pop_id!r}")
+            seen_pops.add(site.pop_id)
+        if not self._cost_matrix:
+            self._cost_matrix = self._compute_cost_matrix()
+
+    def _compute_cost_matrix(self) -> dict[int, dict[int, float]]:
+        pop_matrix = self.topology.cost_matrix([s.pop_id for s in self.sites])
+        return {
+            a.index: {b.index: pop_matrix[a.pop_id][b.pop_id] for b in self.sites}
+            for a in self.sites
+        }
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites (the paper's N)."""
+        return len(self.sites)
+
+    def site(self, index: int) -> Site:
+        """Site ``H_index``."""
+        try:
+            return self.sites[index]
+        except IndexError:
+            raise SessionError(f"no site with index {index}") from None
+
+    def cost_ms(self, a: int, b: int) -> float:
+        """One-way RP-to-RP latency between sites ``a`` and ``b``."""
+        try:
+            return self._cost_matrix[a][b]
+        except KeyError:
+            raise SessionError(f"no cost entry for sites {a}->{b}") from None
+
+    def cost_matrix(self) -> dict[int, dict[int, float]]:
+        """A copy of the site-indexed latency matrix."""
+        return {a: dict(row) for a, row in self._cost_matrix.items()}
+
+    def inbound_limit(self, site: int) -> int:
+        """``I_site`` in stream units."""
+        return self.site(site).rp.inbound_limit
+
+    def outbound_limit(self, site: int) -> int:
+        """``O_site`` in stream units."""
+        return self.site(site).rp.outbound_limit
+
+    def total_streams(self) -> int:
+        """Total number of published streams across all sites."""
+        return len(self.registry)
+
+    def __str__(self) -> str:
+        return (
+            f"TISession(N={self.n_sites}, streams={self.total_streams()}, "
+            f"topology={self.topology.name})"
+        )
+
+
+def build_session(
+    topology: Topology,
+    capacity_model: CapacityModel,
+    rng: RngStream,
+    config: SessionConfig | None = None,
+) -> TISession:
+    """Assemble a session on ``topology`` per the paper's setup.
+
+    The RNG is split into independent sub-streams for placement and
+    capacity draws so the two are not entangled across settings.
+    """
+    config = config or SessionConfig()
+    placement_rng = rng.spawn("placement")
+    capacity_rng = rng.spawn("capacity")
+    pops = place_sites(
+        topology, config.n_sites, rng=placement_rng, strategy=config.placement
+    )
+    assignments = capacity_model.assign(config.n_sites, capacity_rng)
+    registry = StreamRegistry()
+    sites = []
+    for index, (pop_id, assignment) in enumerate(zip(pops, assignments)):
+        sites.append(
+            _build_site(index, pop_id, assignment, registry, config)
+        )
+    return TISession(topology=topology, sites=sites, registry=registry)
+
+
+def _build_site(
+    index: int,
+    pop_id: str,
+    assignment: CapacityAssignment,
+    registry: StreamRegistry,
+    config: SessionConfig,
+) -> Site:
+    """Create one site: RP, camera ring (one stream each), display array."""
+    rp = RendezvousPoint(
+        site=index,
+        pop_id=pop_id,
+        inbound_limit=assignment.inbound_limit,
+        outbound_limit=assignment.outbound_limit,
+    )
+    poses = camera_ring(assignment.n_streams, radius=config.camera_ring_radius)
+    cameras = []
+    for q, pose in enumerate(poses):
+        stream_id = StreamId(site=index, index=q)
+        camera_id = f"cam-{index}-{q}"
+        registry.register(StreamDescriptor(stream_id=stream_id, camera_id=camera_id))
+        cameras.append(Camera3D(camera_id=camera_id, stream_id=stream_id, pose=pose))
+    displays = [
+        Display3D(display_id=f"disp-{index}-{d}", site=index)
+        for d in range(config.displays_per_site)
+    ]
+    return Site(index=index, pop_id=pop_id, rp=rp, cameras=cameras, displays=displays)

@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper validates its overlay on a simulated Internet topology; this
+package adds the data plane: a deterministic event engine, a latency
+network model driven by the session's cost matrix, frame dissemination
+over a constructed forest, and churn/rebuild experiments.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyNetwork
+from repro.sim.dataplane import DataPlaneReport, ForestDataPlane
+from repro.sim.churn import RebuildReport, rebuild_after_leave
+
+__all__ = [
+    "Simulator",
+    "LatencyNetwork",
+    "DataPlaneReport",
+    "ForestDataPlane",
+    "RebuildReport",
+    "rebuild_after_leave",
+]

@@ -1,0 +1,91 @@
+"""A small deterministic discrete-event engine.
+
+Events are (time, tie-break sequence) ordered in a binary heap; equal
+timestamps execute in scheduling order, so runs are reproducible
+regardless of callback content.  The engine is deliberately synchronous
+and single-threaded — 3DTI sessions are small, and determinism is worth
+more than parallelism for reproduction work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """Event loop with millisecond timestamps."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``time_ms``."""
+        if time_ms < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time_ms} < now {self._now}"
+            )
+        heapq.heappush(self._queue, (time_ms, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_in(self, delay_ms: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay {delay_ms}")
+        self.schedule_at(self._now + delay_ms, callback)
+
+    def run(self, until_ms: float | None = None, max_events: int = 10_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        Parameters
+        ----------
+        until_ms:
+            Stop once the next event lies strictly beyond this time
+            (the event stays queued).  None drains everything.
+        max_events:
+            Runaway guard; exceeding it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                time_ms, _, callback = self._queue[0]
+                if until_ms is not None and time_ms > until_ms:
+                    break
+                heapq.heappop(self._queue)
+                self._now = time_ms
+                callback()
+                executed += 1
+                self._processed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until_ms is not None and until_ms > self._now:
+                self._now = until_ms
+        finally:
+            self._running = False
+        return executed

@@ -1,0 +1,44 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` with a message that
+names the offending parameter, keeping call sites one-liners.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_range(name: str, value: float, low: float, high: float) -> float:
+    """Require ``low <= value <= high``; return it for chaining."""
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_at_least(name: str, value: int, minimum: int) -> int:
+    """Require ``value >= minimum``; return it for chaining."""
+    if value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value!r}")
+    return value

@@ -1,0 +1,76 @@
+"""Workload trace serialization (record / replay).
+
+The paper's future work calls for collecting user subscription traces.
+This module gives workloads a stable JSON-able representation so samples
+can be archived, shared, and replayed bit-for-bit across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import SubscriptionError
+from repro.session.streams import StreamId
+from repro.workload.spec import SubscriptionWorkload
+
+_FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: SubscriptionWorkload) -> dict:
+    """Encode a workload as a plain JSON-able dictionary."""
+    return {
+        "version": _FORMAT_VERSION,
+        "n_sites": workload.n_sites,
+        "subscriptions": {
+            str(site): [[s.site, s.index] for s in streams]
+            for site, streams in sorted(workload.subscriptions.items())
+        },
+    }
+
+
+def workload_from_dict(data: dict) -> SubscriptionWorkload:
+    """Decode a workload produced by :func:`workload_to_dict`."""
+    try:
+        version = data["version"]
+        if version != _FORMAT_VERSION:
+            raise SubscriptionError(f"unsupported trace version {version}")
+        n_sites = int(data["n_sites"])
+        subscriptions = {
+            int(site): tuple(StreamId(int(s), int(q)) for s, q in streams)
+            for site, streams in data["subscriptions"].items()
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SubscriptionError(f"malformed workload trace: {exc}") from exc
+    return SubscriptionWorkload(n_sites=n_sites, subscriptions=subscriptions)
+
+
+def save_traces(path: str | Path, workloads: Iterable[SubscriptionWorkload]) -> int:
+    """Write workload samples to a JSON-lines file; returns the count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for workload in workloads:
+            fh.write(json.dumps(workload_to_dict(workload)) + "\n")
+            count += 1
+    return count
+
+
+def load_traces(path: str | Path) -> list[SubscriptionWorkload]:
+    """Read workload samples from a JSON-lines file."""
+    path = Path(path)
+    workloads: list[SubscriptionWorkload] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SubscriptionError(
+                    f"{path}:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            workloads.append(workload_from_dict(data))
+    return workloads

@@ -1,0 +1,24 @@
+"""Uniform (random) stream popularity (Sec. 5.1).
+
+The randomized workload accounts for 3DTI applications where streams
+have similar popularity, such as surveillance and group collaboration:
+every candidate stream is equally likely to be subscribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.session.streams import StreamId
+
+
+@dataclass
+class UniformPopularity:
+    """Equal weights over streams."""
+
+    name: str = "uniform"
+
+    def weights(self, streams: Sequence[StreamId]) -> list[float]:
+        """A weight of 1.0 for every stream."""
+        return [1.0 for _ in streams]

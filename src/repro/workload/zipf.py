@@ -1,0 +1,35 @@
+"""Zipf-like stream popularity (Sec. 5.1).
+
+The paper cites measurements that multimedia stream popularity follows a
+Zipf-like law and argues it is intuitive for 3DTI: the front cameras that
+capture people's faces are subscribed by most sites.  We therefore rank
+streams by their *local camera index* — camera 0 is the front camera of
+every site — and weight stream ``s_j^q`` proportional to
+``1 / (q + 1) ** exponent``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.session.streams import StreamId
+
+
+@dataclass
+class ZipfPopularity:
+    """Zipf weights over streams, ranked by local camera index."""
+
+    exponent: float = 1.0
+    name: str = "zipf"
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ConfigurationError(
+                f"zipf exponent must be positive, got {self.exponent}"
+            )
+
+    def weights(self, streams: Sequence[StreamId]) -> list[float]:
+        """One positive weight per stream, aligned with ``streams``."""
+        return [1.0 / float(s.index + 1) ** self.exponent for s in streams]

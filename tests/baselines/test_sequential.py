@@ -1,0 +1,22 @@
+"""Tests for the deterministic-order baseline."""
+
+from __future__ import annotations
+
+from repro.baselines.sequential import SequentialOrderBuilder
+from repro.util.rng import RngStream
+
+
+class TestSequential:
+    def test_ignores_rng(self, small_problem):
+        a = SequentialOrderBuilder().build(small_problem, RngStream(1))
+        b = SequentialOrderBuilder().build(small_problem, RngStream(999))
+        assert a.satisfied == b.satisfied
+        assert a.rejected == b.rejected
+
+    def test_single_phase(self, small_problem, rng):
+        phases = list(SequentialOrderBuilder().phases(small_problem, rng))
+        assert len(phases) == 1
+        assert phases[0][1] == small_problem.all_requests()
+
+    def test_verify(self, small_problem, rng):
+        SequentialOrderBuilder().build(small_problem, rng).verify()

@@ -1,0 +1,58 @@
+"""Shared fixtures: deterministic RNGs, small sessions and problems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import ForestProblem
+from repro.session.capacity import UniformCapacityModel
+from repro.session.session import SessionConfig, build_session
+from repro.topology.backbone import load_backbone
+from repro.util.rng import RngStream
+from repro.workload.coverage import CoverageWorkloadModel
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    """A fresh deterministic root stream."""
+    return RngStream(1234, label="test")
+
+
+@pytest.fixture(scope="session")
+def tier1_topology():
+    """The embedded global backbone (shared; read-only in tests)."""
+    return load_backbone("tier1")
+
+
+@pytest.fixture(scope="session")
+def abilene_topology():
+    """The embedded Abilene backbone (shared; read-only in tests)."""
+    return load_backbone("abilene")
+
+
+@pytest.fixture
+def small_session(tier1_topology):
+    """A 4-site uniform-capacity session."""
+    return build_session(
+        tier1_topology,
+        UniformCapacityModel(streams_per_site=6),
+        RngStream(7, label="session"),
+        SessionConfig(n_sites=4, displays_per_site=2),
+    )
+
+
+@pytest.fixture
+def small_problem(small_session):
+    """A coverage-workload problem over the small session."""
+    workload = CoverageWorkloadModel(interest=0.3).generate(
+        small_session, RngStream(11, label="workload")
+    )
+    return ForestProblem.from_workload(small_session, workload, 200.0)
+
+
+def complete_cost(n: int, off_diagonal: float = 1.0) -> dict[int, dict[int, float]]:
+    """A complete symmetric cost matrix with one off-diagonal value."""
+    return {
+        i: {j: (0.0 if i == j else off_diagonal) for j in range(n)}
+        for i in range(n)
+    }

@@ -1,0 +1,189 @@
+"""Tests for incremental overlay maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OverlayError, SubscriptionError
+from repro.core.incremental import (
+    add_subscription,
+    churn_rate,
+    remove_subscription,
+)
+from repro.core.model import RejectionReason, SubscriptionRequest
+from repro.core.problem import ForestProblem
+from repro.core.randomized import RandomJoinBuilder
+from repro.session.streams import StreamId
+from repro.util.rng import RngStream
+from tests.conftest import complete_cost
+
+
+def roomy_problem() -> ForestProblem:
+    """Four nodes with ample capacity; node 3 initially subscribes nothing."""
+    return ForestProblem.from_tables(
+        cost=complete_cost(4),
+        inbound={i: 10 for i in range(4)},
+        outbound={i: 10 for i in range(4)},
+        group_members={
+            StreamId(0, 0): {1, 2, 3},
+            StreamId(1, 0): {0, 2},
+        },
+        latency_bound_ms=10.0,
+    )
+
+
+@pytest.fixture
+def built(rng):
+    result = RandomJoinBuilder().build(roomy_problem(), rng)
+    result.verify()
+    return result
+
+
+class TestAddSubscription:
+    def test_add_after_rejection_rejoins(self, rng):
+        # Saturate by tiny inbound at node 3, then lift... capacity is
+        # immutable, so instead: reject by latency and re-add a feasible
+        # request after costs are irrelevant -> use a fresh group member
+        # that was rejected during the build.
+        problem = ForestProblem.from_tables(
+            cost=complete_cost(3, off_diagonal=99.0),
+            inbound={i: 5 for i in range(3)},
+            outbound={i: 5 for i in range(3)},
+            group_members={StreamId(0, 0): {1, 2}},
+            latency_bound_ms=10.0,
+        )
+        result = RandomJoinBuilder().build(problem, rng)
+        assert len(result.rejected) == 2  # everything latency-infeasible
+        # Make node 1 reachable and retry incrementally.
+        problem.cost[0][1] = 1.0
+        request = SubscriptionRequest(1, StreamId(0, 0))
+        outcome = add_subscription(result, request)
+        assert outcome.accepted
+        assert request in result.forest.satisfied
+        assert result.u_hat(1, 0) == 0  # stale rejection record dropped
+        result.verify()
+
+    def test_add_already_satisfied_rejected(self, built):
+        satisfied = built.satisfied[0]
+        with pytest.raises(OverlayError):
+            add_subscription(built, satisfied)
+
+    def test_add_unknown_subscriber_rejected(self, built):
+        with pytest.raises(SubscriptionError):
+            add_subscription(
+                built, SubscriptionRequest(99, StreamId(0, 0))
+            )
+
+    def test_add_respects_bounds(self, rng):
+        problem = ForestProblem.from_tables(
+            cost=complete_cost(3),
+            inbound={0: 5, 1: 0, 2: 5},
+            outbound={i: 5 for i in range(3)},
+            group_members={StreamId(0, 0): {1, 2}},
+            latency_bound_ms=10.0,
+        )
+        result = RandomJoinBuilder().build(problem, rng)
+        request = next(r for r, _ in result.rejected if r.subscriber == 1)
+        outcome = add_subscription(result, request)
+        assert not outcome.accepted
+        assert outcome.reason is RejectionReason.INBOUND_SATURATED
+        result.verify()
+
+    def test_add_with_swap_fallback(self, rng):
+        # Build a saturated instance where plain join fails but a CO-RJ
+        # style swap can serve the request.
+        problem = ForestProblem.from_tables(
+            cost=complete_cost(4),
+            inbound={i: 10 for i in range(4)},
+            outbound={0: 1, 1: 1, 2: 10, 3: 10},
+            group_members={
+                StreamId(0, 0): {3},      # critical: u(3,0) = 1
+                StreamId(1, 0): {3},
+                StreamId(1, 1): {3},
+            },
+            latency_bound_ms=10.0,
+        )
+        result = RandomJoinBuilder().build(problem, RngStream(17))
+        result.verify()
+        rejected = [r for r, _ in result.rejected]
+        if not rejected:
+            pytest.skip("seed produced no rejection to repair")
+        request = rejected[0]
+        outcome = add_subscription(result, request, use_swap=True)
+        result.verify()
+        # swap either worked or the rejection stands recorded
+        if outcome.accepted:
+            assert request in result.forest.satisfied
+        else:
+            assert any(r == request for r, _ in result.forest.rejected)
+
+
+class TestRemoveSubscription:
+    def test_remove_leaf_releases_capacity(self, built):
+        leafs = [
+            request
+            for request in built.satisfied
+            if built.forest.trees[request.stream].is_leaf(request.subscriber)
+        ]
+        request = leafs[0]
+        parent = built.forest.trees[request.stream].parent(request.subscriber)
+        dout_before = built.state.dout[parent]
+        remove_subscription(built, request)
+        assert built.state.dout[parent] == dout_before - 1
+        assert request not in built.forest.satisfied
+        built.forest.validate()
+
+    def test_remove_interior_keeps_edge(self, built):
+        interior = [
+            request
+            for request in built.satisfied
+            if not built.forest.trees[request.stream].is_leaf(
+                request.subscriber
+            )
+        ]
+        if not interior:
+            pytest.skip("no interior subscriber in this build")
+        request = interior[0]
+        remove_subscription(built, request)
+        # The node keeps relaying: still in the tree.
+        assert request.subscriber in built.forest.trees[request.stream]
+        assert request not in built.forest.satisfied
+
+    def test_remove_unsatisfied_rejected(self, built):
+        ghost = SubscriptionRequest(3, StreamId(1, 0))
+        if ghost in built.forest.satisfied:
+            built.forest.satisfied.remove(ghost)
+        with pytest.raises(OverlayError):
+            remove_subscription(built, ghost)
+
+    def test_add_after_remove_roundtrip(self, built):
+        leafs = [
+            request
+            for request in built.satisfied
+            if built.forest.trees[request.stream].is_leaf(request.subscriber)
+        ]
+        request = leafs[0]
+        remove_subscription(built, request)
+        outcome = add_subscription(built, request)
+        assert outcome.accepted
+        built.verify()
+
+
+class TestChurnRate:
+    def test_identical_builds_zero_churn(self, rng):
+        problem = roomy_problem()
+        a = RandomJoinBuilder().build(problem, RngStream(3))
+        b = RandomJoinBuilder().build(problem, RngStream(3))
+        assert churn_rate(a, b) == 0.0
+
+    def test_different_shuffles_nonnegative(self, small_problem):
+        a = RandomJoinBuilder().build(small_problem, RngStream(1))
+        b = RandomJoinBuilder().build(small_problem, RngStream(2))
+        assert 0.0 <= churn_rate(a, b) <= 1.0
+
+    def test_disjoint_satisfied_zero(self, rng):
+        problem = roomy_problem()
+        a = RandomJoinBuilder().build(problem, RngStream(3))
+        b = RandomJoinBuilder().build(problem, RngStream(3))
+        b.forest.satisfied.clear()
+        assert churn_rate(a, b) == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the core data model (Table 1 notation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.core.model import MulticastGroup, RejectionReason, SubscriptionRequest
+from repro.session.streams import StreamId
+
+
+class TestSubscriptionRequest:
+    def test_source_property(self):
+        request = SubscriptionRequest(subscriber=2, stream=StreamId(5, 1))
+        assert request.source == 5
+
+    def test_self_subscription_rejected(self):
+        with pytest.raises(SubscriptionError):
+            SubscriptionRequest(subscriber=3, stream=StreamId(3, 0))
+
+    def test_negative_subscriber_rejected(self):
+        with pytest.raises(SubscriptionError):
+            SubscriptionRequest(subscriber=-1, stream=StreamId(0, 0))
+
+    def test_str_notation(self):
+        request = SubscriptionRequest(subscriber=1, stream=StreamId(2, 3))
+        assert str(request) == "r1(s2^3)"
+
+    def test_orderable_and_hashable(self):
+        a = SubscriptionRequest(1, StreamId(2, 0))
+        b = SubscriptionRequest(3, StreamId(2, 0))
+        assert a < b
+        assert len({a, a, b}) == 2
+
+
+class TestMulticastGroup:
+    def test_size(self):
+        group = MulticastGroup(StreamId(0, 0), frozenset({1, 2, 3}))
+        assert group.size == 3
+        assert group.source == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SubscriptionError):
+            MulticastGroup(StreamId(0, 0), frozenset())
+
+    def test_source_membership_rejected(self):
+        with pytest.raises(SubscriptionError):
+            MulticastGroup(StreamId(0, 0), frozenset({0, 1}))
+
+    def test_requests_sorted(self):
+        group = MulticastGroup(StreamId(0, 0), frozenset({3, 1, 2}))
+        assert [r.subscriber for r in group.requests()] == [1, 2, 3]
+
+    def test_str(self):
+        group = MulticastGroup(StreamId(0, 0), frozenset({2, 1}))
+        assert str(group) == "G(s0^0)={1,2}"
+
+
+class TestRejectionReason:
+    def test_values(self):
+        assert str(RejectionReason.INBOUND_SATURATED) == "inbound-saturated"
+        assert str(RejectionReason.TREE_SATURATED) == "tree-saturated"
+        assert str(RejectionReason.VICTIM_SWAPPED) == "victim-swapped"

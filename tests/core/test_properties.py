@@ -1,0 +1,172 @@
+"""Property-based tests: builder invariants on random problem instances.
+
+Every algorithm, on any problem, must produce a forest that
+
+* respects every node's inbound and outbound degree bounds,
+* keeps every satisfied request under the latency bound,
+* contains only structurally valid trees (acyclic, connected to the
+  source, consistent cost labels),
+* accounts for every request exactly once,
+* and yields metrics inside their documented ranges.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.correlation import CorrelatedRandomJoinBuilder
+from repro.core.granularity import GranularityBuilder
+from repro.core.metrics import ForestMetrics
+from repro.core.model import MulticastGroup
+from repro.core.problem import ForestProblem
+from repro.core.randomized import RandomJoinBuilder
+from repro.core.registry import make_builder
+from repro.core.tree_order import (
+    LargestTreeFirstBuilder,
+    MinCapacityTreeFirstBuilder,
+    SmallestTreeFirstBuilder,
+)
+from repro.session.streams import StreamId
+from repro.util.rng import RngStream
+
+ALL_BUILDERS = [
+    LargestTreeFirstBuilder,
+    SmallestTreeFirstBuilder,
+    MinCapacityTreeFirstBuilder,
+    RandomJoinBuilder,
+    CorrelatedRandomJoinBuilder,
+    lambda: GranularityBuilder(granularity=3),
+]
+
+
+@st.composite
+def forest_problems(draw) -> ForestProblem:
+    """Random small problem instances with plausible shapes."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    # Symmetric positive costs.
+    base = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=30.0),
+            min_size=n * n,
+            max_size=n * n,
+        )
+    )
+    cost: dict[int, dict[int, float]] = {i: {} for i in range(n)}
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                cost[i][j] = 0.0
+            elif i < j:
+                cost[i][j] = base[i * n + j]
+            else:
+                cost[i][j] = cost[j][i]
+    inbound = {
+        i: draw(st.integers(min_value=0, max_value=12)) for i in range(n)
+    }
+    outbound = {
+        i: draw(st.integers(min_value=0, max_value=12)) for i in range(n)
+    }
+    n_streams = draw(st.integers(min_value=1, max_value=6))
+    groups = []
+    for k in range(n_streams):
+        source = draw(st.integers(min_value=0, max_value=n - 1))
+        others = [i for i in range(n) if i != source]
+        members = draw(
+            st.sets(st.sampled_from(others), min_size=1, max_size=len(others))
+        )
+        groups.append(
+            MulticastGroup(StreamId(source, k), frozenset(members))
+        )
+    bound = draw(st.floats(min_value=5.0, max_value=80.0))
+    return ForestProblem(
+        n_nodes=n,
+        cost=cost,
+        inbound=inbound,
+        outbound=outbound,
+        groups=groups,
+        latency_bound_ms=bound,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=forest_problems(), seed=st.integers(min_value=0, max_value=2**31))
+def test_all_builders_respect_invariants(problem, seed):
+    for factory in ALL_BUILDERS:
+        builder = factory()
+        result = builder.build(problem, RngStream(seed, label=builder.name))
+        result.verify()  # degrees, latency, structure, accounting
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem=forest_problems(), seed=st.integers(min_value=0, max_value=2**31))
+def test_metrics_ranges(problem, seed):
+    result = RandomJoinBuilder().build(problem, RngStream(seed))
+    metrics = ForestMetrics.of(result)
+    assert 0.0 <= metrics.rejection_ratio <= 1.0
+    assert 0.0 <= metrics.mean_pairwise_rejection <= 1.0 + 1e-9
+    assert 0.0 <= metrics.criticality_loss_ratio <= 1.0 + 1e-9
+    assert metrics.pairwise_rejection_sum >= 0.0
+    assert metrics.correlation_weighted_rejection >= 0.0
+    assert 0.0 <= metrics.mean_out_utilization <= 1.0 + 1e-9
+    assert metrics.max_path_cost_ms < problem.latency_bound_ms or (
+        metrics.max_path_cost_ms == 0.0
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem=forest_problems(), seed=st.integers(min_value=0, max_value=2**31))
+def test_satisfied_subscribers_are_group_members(problem, seed):
+    result = RandomJoinBuilder().build(problem, RngStream(seed))
+    members = {
+        group.stream: set(group.subscribers) for group in problem.groups
+    }
+    for request in result.satisfied:
+        assert request.subscriber in members[request.stream]
+    for request, _reason in result.rejected:
+        assert request.subscriber in members[request.stream]
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem=forest_problems(), seed=st.integers(min_value=0, max_value=2**31))
+def test_determinism(problem, seed):
+    a = RandomJoinBuilder().build(problem, RngStream(seed))
+    b = RandomJoinBuilder().build(problem, RngStream(seed))
+    assert a.satisfied == b.satisfied
+    assert a.rejected == b.rejected
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem=forest_problems(), seed=st.integers(min_value=0, max_value=2**31))
+def test_co_rj_swap_conservation(problem, seed):
+    """CO-RJ's swaps never violate invariants and every victim-swapped
+    request corresponds to a satisfied higher-criticality one."""
+    result = CorrelatedRandomJoinBuilder().build(problem, RngStream(seed))
+    result.verify()
+    victims = [
+        request
+        for request, reason in result.rejected
+        if reason.value == "victim-swapped"
+    ]
+    for victim in victims:
+        # The victim must no longer be a member of the tree it left.
+        tree = result.forest.trees[victim.stream]
+        assert victim.subscriber not in tree
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    problem=forest_problems(),
+    seed=st.integers(min_value=0, max_value=2**31),
+    granularity=st.integers(min_value=1, max_value=10),
+)
+def test_granularity_spectrum_invariants(problem, seed, granularity):
+    builder = GranularityBuilder(granularity=granularity)
+    builder.build(problem, RngStream(seed)).verify()
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=forest_problems(), seed=st.integers(min_value=0, max_value=2**31))
+def test_registry_builders_equivalent_to_direct(problem, seed):
+    direct = RandomJoinBuilder().build(problem, RngStream(seed))
+    named = make_builder("rj").build(problem, RngStream(seed))
+    assert direct.satisfied == named.satisfied

@@ -1,0 +1,76 @@
+"""Smoke tests for the per-figure harnesses (tiny sample counts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import FIG8_ALGORITHMS, run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import improvement_factor, run_fig11
+from repro.experiments.report import markdown_section, series_plot, series_table
+from repro.experiments.settings import ExperimentSetting
+
+
+def tiny(**kwargs) -> ExperimentSetting:
+    defaults = dict(samples=3, seed=11)
+    defaults.update(kwargs)
+    return ExperimentSetting(**defaults)
+
+
+class TestFig8:
+    def test_panel_series(self):
+        result = run_fig8(tiny(), n_sites_values=(3, 5))
+        assert result.xs == [3, 5]
+        assert set(result.series) == set(FIG8_ALGORITHMS)
+        for values in result.series.values():
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+    def test_custom_algorithms(self):
+        result = run_fig8(tiny(), n_sites_values=(3,), algorithms=("rj",))
+        assert set(result.series) == {"rj"}
+
+
+class TestFig9:
+    def test_granularity_series(self):
+        result = run_fig9(tiny(), granularities=(1, 4, 16), n_sites=5)
+        assert result.xs == [1, 4, 16]
+        assert len(result.series["gran-ltf"]) == 3
+
+
+class TestFig10:
+    def test_metrics_series(self):
+        result = run_fig10(tiny(), n_sites_values=(4, 6))
+        assert set(result.series) == {
+            "out-degree-utilization",
+            "utilization-stddev",
+            "relay-fraction",
+        }
+        for value in result.series["out-degree-utilization"]:
+            assert 0.0 <= value <= 1.0
+
+
+class TestFig11:
+    def test_series_and_factor(self):
+        result = run_fig11(tiny(), n_sites_values=(3, 5))
+        assert set(result.series) == {"rj", "co-rj", "rj-eq3", "co-rj-eq3"}
+        factor = improvement_factor(result)
+        assert factor > 0.0
+
+
+class TestReport:
+    def test_series_table_and_plot(self):
+        result = run_fig8(tiny(), n_sites_values=(3,), algorithms=("rj",))
+        table = series_table(result, "N", title="t")
+        assert "N" in table and "rj" in table
+        plot = series_plot(result, "title")
+        assert "rj" in plot
+
+    def test_markdown_section(self):
+        result = run_fig8(tiny(), n_sites_values=(3,), algorithms=("rj",))
+        section = markdown_section(
+            "Fig X", "expectation text", result, "N", observations="obs"
+        )
+        assert section.startswith("### Fig X")
+        assert "expectation text" in section
+        assert "obs" in section

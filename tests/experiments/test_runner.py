@@ -1,0 +1,84 @@
+"""Tests for the sweep machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import rejection_ratio
+from repro.core.randomized import RandomJoinBuilder
+from repro.core.tree_order import LargestTreeFirstBuilder
+from repro.experiments.runner import (
+    SeriesResult,
+    mean_metric_per_builder,
+    sample_problems,
+    sweep_mean_metric,
+)
+from repro.experiments.settings import ExperimentSetting
+
+
+def small_setting(**kwargs) -> ExperimentSetting:
+    defaults = dict(samples=4, seed=7)
+    defaults.update(kwargs)
+    return ExperimentSetting(**defaults)
+
+
+class TestSeriesResult:
+    def test_rows_aligned_with_sorted_names(self):
+        result = SeriesResult(xs=[3, 4])
+        result.add_point("b", 2.0)
+        result.add_point("a", 1.0)
+        result.add_point("b", 4.0)
+        result.add_point("a", 3.0)
+        assert result.names() == ["a", "b"]
+        assert result.as_rows() == [[3, 1.0, 2.0], [4, 3.0, 4.0]]
+
+
+class TestSampleProblems:
+    def test_count_and_shape(self, tier1_topology):
+        setting = small_setting()
+        problems = list(sample_problems(setting, 4, topology=tier1_topology))
+        assert len(problems) == 4
+        assert all(p.n_nodes == 4 for p in problems)
+
+    def test_samples_differ(self, tier1_topology):
+        problems = list(
+            sample_problems(small_setting(), 4, topology=tier1_topology)
+        )
+        signatures = {tuple(sorted(map(str, p.all_requests()))) for p in problems}
+        assert len(signatures) > 1
+
+    def test_reproducible_across_calls(self, tier1_topology):
+        a = list(sample_problems(small_setting(), 5, topology=tier1_topology))
+        b = list(sample_problems(small_setting(), 5, topology=tier1_topology))
+        for pa, pb in zip(a, b):
+            assert pa.all_requests() == pb.all_requests()
+
+    def test_seed_changes_samples(self, tier1_topology):
+        a = list(sample_problems(small_setting(seed=1), 5, topology=tier1_topology))
+        b = list(sample_problems(small_setting(seed=2), 5, topology=tier1_topology))
+        assert any(
+            pa.all_requests() != pb.all_requests() for pa, pb in zip(a, b)
+        )
+
+
+class TestMeanMetric:
+    def test_values_in_range(self, tier1_topology):
+        means = mean_metric_per_builder(
+            small_setting(),
+            5,
+            {"rj": RandomJoinBuilder(), "ltf": LargestTreeFirstBuilder()},
+            rejection_ratio,
+            topology=tier1_topology,
+        )
+        assert set(means) == {"rj", "ltf"}
+        assert all(0.0 <= v <= 1.0 for v in means.values())
+
+    def test_sweep_shape(self):
+        result = sweep_mean_metric(
+            small_setting(),
+            [3, 4],
+            {"rj": RandomJoinBuilder()},
+            rejection_ratio,
+        )
+        assert result.xs == [3, 4]
+        assert len(result.series["rj"]) == 2

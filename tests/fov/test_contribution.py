@@ -1,0 +1,97 @@
+"""Tests for FOV contribution scoring (the Fig. 4 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fov.camera import camera_ring
+from repro.fov.contribution import contribution_score, rank_streams
+from repro.fov.geometry import Pose, Vec3
+from repro.fov.viewpoint import FieldOfView
+from repro.session.streams import StreamId
+
+
+def frontal_fov() -> FieldOfView:
+    """A viewer on the +x axis looking at the stage centre."""
+    return FieldOfView(eye=Vec3(6.0, 0.0, 1.5), target=Vec3(0.0, 0.0, 1.0))
+
+
+class TestContributionScore:
+    def test_front_camera_scores_highest(self):
+        fov = frontal_fov()
+        ring = camera_ring(8)
+        scores = [contribution_score(fov, pose) for pose in ring]
+        # Camera 0 sits on the +x axis (facing the viewer's side).
+        assert scores[0] == max(scores)
+
+    def test_rear_camera_scores_zero(self):
+        fov = frontal_fov()
+        ring = camera_ring(8)
+        # Camera 4 is diametrically opposite: it films the far side.
+        assert scores_zeroish(contribution_score(fov, ring[4]))
+
+    def test_score_bounded(self):
+        fov = frontal_fov()
+        for pose in camera_ring(16):
+            assert 0.0 <= contribution_score(fov, pose) <= 1.0
+
+    def test_outside_cone_is_zero(self):
+        fov = FieldOfView(
+            eye=Vec3(6.0, 0.0, 1.5),
+            target=Vec3(0.0, 0.0, 1.0),
+            half_angle_deg=5.0,
+        )
+        behind = Pose.look_at(Vec3(-6.0, 0.0, 1.5), Vec3(6.0, 0.0, 1.5))
+        # The camera is far off the (narrow) view axis: no contribution.
+        assert contribution_score(fov, behind) == pytest.approx(0.0, abs=1e-9)
+
+    def test_camera_at_eye_counts_on_axis(self):
+        fov = frontal_fov()
+        at_eye = Pose.look_at(fov.eye, fov.target)
+        assert contribution_score(fov, at_eye) > 0.5
+
+
+def scores_zeroish(value: float) -> bool:
+    return value == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRankStreams:
+    def test_figure4_style_ranking(self):
+        """The cameras facing the viewpoint rank first (paper Fig. 4)."""
+        fov = frontal_fov()
+        ring = camera_ring(8)
+        pairs = [(StreamId(0, q), pose) for q, pose in enumerate(ring)]
+        ranked = rank_streams(fov, pairs)
+        top4 = {stream.index for stream, _ in ranked[:4]}
+        # Front-facing side of the ring: cameras 0, 1, 7 certainly; the
+        # fourth is 2 or 6 by symmetry (ties break deterministically).
+        assert 0 in top4 and 1 in top4 and 7 in top4
+        assert top4 <= {0, 1, 2, 6, 7}
+
+    def test_deterministic_tie_break(self):
+        fov = frontal_fov()
+        ring = camera_ring(8)
+        pairs = [(StreamId(0, q), pose) for q, pose in enumerate(ring)]
+        assert rank_streams(fov, pairs) == rank_streams(fov, pairs)
+
+    def test_scores_descending(self):
+        fov = frontal_fov()
+        pairs = [
+            (StreamId(0, q), pose) for q, pose in enumerate(camera_ring(12))
+        ]
+        scores = [score for _, score in rank_streams(fov, pairs)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestFieldOfView:
+    def test_bad_half_angle(self):
+        with pytest.raises(ValueError):
+            FieldOfView(eye=Vec3(1, 0, 0), target=Vec3(0, 0, 0), half_angle_deg=0.0)
+
+    def test_eye_equals_target_rejected(self):
+        with pytest.raises(ValueError):
+            FieldOfView(eye=Vec3(1, 1, 1), target=Vec3(1, 1, 1))
+
+    def test_view_direction_unit(self):
+        fov = frontal_fov()
+        assert fov.view_direction.norm() == pytest.approx(1.0)

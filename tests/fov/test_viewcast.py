@@ -1,0 +1,56 @@
+"""Tests for the ViewCast-style selector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.fov.camera import camera_ring
+from repro.fov.geometry import Vec3
+from repro.fov.viewcast import ViewCastSelector
+from repro.fov.viewpoint import FieldOfView
+from repro.session.streams import StreamId
+
+
+def make_selector(max_streams: int = 4) -> ViewCastSelector:
+    poses = {
+        StreamId(0, q): pose for q, pose in enumerate(camera_ring(8))
+    }
+    return ViewCastSelector(camera_poses=poses, max_streams=max_streams)
+
+
+def frontal_fov() -> FieldOfView:
+    return FieldOfView(eye=Vec3(6.0, 0.0, 1.5), target=Vec3(0.0, 0.0, 1.0))
+
+
+class TestSelect:
+    def test_respects_budget(self):
+        assert len(make_selector(3).select(frontal_fov())) == 3
+
+    def test_front_camera_always_selected(self):
+        assert StreamId(0, 0) in make_selector().select(frontal_fov())
+
+    def test_candidates_restriction(self):
+        selector = make_selector()
+        subset = [StreamId(0, 3), StreamId(0, 4)]
+        selected = selector.select(frontal_fov(), candidates=subset)
+        assert set(selected) <= set(subset)
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(SubscriptionError):
+            make_selector().select(frontal_fov(), candidates=[StreamId(9, 9)])
+
+    def test_min_score_floor_filters(self):
+        poses = {StreamId(0, q): pose for q, pose in enumerate(camera_ring(8))}
+        selector = ViewCastSelector(
+            camera_poses=poses, max_streams=8, min_score=0.0
+        )
+        selected = selector.select(frontal_fov())
+        # Rear cameras score 0 and must not be selected even with budget.
+        assert StreamId(0, 4) not in selected
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SubscriptionError):
+            ViewCastSelector(camera_poses={}, max_streams=0)
+        with pytest.raises(SubscriptionError):
+            ViewCastSelector(camera_poses={}, min_score=-0.1)

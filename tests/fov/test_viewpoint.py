@@ -1,0 +1,35 @@
+"""Tests for the FieldOfView specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fov.geometry import Vec3
+from repro.fov.viewpoint import FieldOfView
+
+
+class TestFieldOfView:
+    def test_pose_points_at_target(self):
+        fov = FieldOfView(eye=Vec3(5, 0, 0), target=Vec3(0, 0, 0))
+        assert fov.pose.direction == Vec3(-1, 0, 0)
+        assert fov.pose.position == Vec3(5, 0, 0)
+
+    def test_default_half_angle(self):
+        fov = FieldOfView(eye=Vec3(1, 0, 0), target=Vec3(0, 0, 0))
+        assert fov.half_angle_deg == 60.0
+
+    def test_half_angle_upper_bound(self):
+        FieldOfView(eye=Vec3(1, 0, 0), target=Vec3(0, 0, 0),
+                    half_angle_deg=180.0)
+        with pytest.raises(ValueError):
+            FieldOfView(eye=Vec3(1, 0, 0), target=Vec3(0, 0, 0),
+                        half_angle_deg=180.1)
+
+    def test_frozen(self):
+        fov = FieldOfView(eye=Vec3(1, 0, 0), target=Vec3(0, 0, 0))
+        with pytest.raises(Exception):
+            fov.half_angle_deg = 10.0  # type: ignore[misc]
+
+    def test_view_direction_unit_norm(self):
+        fov = FieldOfView(eye=Vec3(3, 4, 0), target=Vec3(0, 0, 0))
+        assert fov.view_direction.norm() == pytest.approx(1.0)

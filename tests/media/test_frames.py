@@ -1,0 +1,47 @@
+"""Tests for the synthetic frame model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.media.frames import Frame3D, FrameClock
+from repro.session.streams import StreamId
+from repro.util.rng import RngStream
+
+
+class TestFrame3D:
+    def test_valid(self):
+        Frame3D(StreamId(0, 0), sequence=0, capture_time_ms=0.0, size_bytes=100)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Frame3D(StreamId(0, 0), sequence=-1, capture_time_ms=0.0, size_bytes=1)
+        with pytest.raises(ConfigurationError):
+            Frame3D(StreamId(0, 0), sequence=0, capture_time_ms=0.0, size_bytes=0)
+
+
+class TestFrameClock:
+    def test_interval_from_fps(self):
+        clock = FrameClock(StreamId(0, 0), fps=15.0)
+        assert clock.interval_ms == pytest.approx(1000.0 / 15.0)
+
+    def test_mean_frame_size_from_bandwidth(self):
+        # 7.5 Mbps at 15 fps -> 62.5 KB per frame.
+        clock = FrameClock(StreamId(0, 0), bandwidth_mbps=7.5, fps=15.0)
+        assert clock.mean_frame_bytes == int(7.5e6 / 8 / 15)
+
+    def test_jittered_sizes_near_mean(self):
+        clock = FrameClock(StreamId(0, 0), size_jitter=0.2)
+        rng = RngStream(3)
+        sizes = [clock.frame(i, 0.0, rng).size_bytes for i in range(100)]
+        mean = clock.mean_frame_bytes
+        assert all(0.8 * mean <= s <= 1.2 * mean for s in sizes)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FrameClock(StreamId(0, 0), bandwidth_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            FrameClock(StreamId(0, 0), fps=0.0)
+        with pytest.raises(ConfigurationError):
+            FrameClock(StreamId(0, 0), size_jitter=1.0)

@@ -1,0 +1,43 @@
+"""Tests for the camera source process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.media.frames import FrameClock
+from repro.media.source import CameraSource
+from repro.session.streams import StreamId
+from repro.sim.engine import Simulator
+from repro.util.rng import RngStream
+
+
+class TestCameraSource:
+    def run_source(self, duration_ms: float, fps: float = 10.0):
+        simulator = Simulator()
+        frames = []
+        source = CameraSource(
+            clock=FrameClock(StreamId(0, 0), fps=fps),
+            rng=RngStream(1),
+            on_frame=frames.append,
+            end_time_ms=duration_ms,
+        )
+        source.start(simulator.schedule_at)
+        simulator.run()
+        return frames
+
+    def test_frame_count_matches_duration(self):
+        # 10 fps for 1000 ms: captures at 0,100,...,1000 -> 11 frames.
+        frames = self.run_source(1000.0)
+        assert len(frames) == 11
+
+    def test_sequence_numbers_contiguous(self):
+        frames = self.run_source(500.0)
+        assert [f.sequence for f in frames] == list(range(len(frames)))
+
+    def test_capture_times_spaced_by_interval(self):
+        frames = self.run_source(300.0)
+        times = [f.capture_time_ms for f in frames]
+        assert times == pytest.approx([0.0, 100.0, 200.0, 300.0])
+
+    def test_zero_duration_single_frame(self):
+        assert len(self.run_source(0.0)) == 1

@@ -1,0 +1,78 @@
+"""Tests for the membership server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.randomized import RandomJoinBuilder
+from repro.pubsub.membership import MembershipServer
+from repro.pubsub.messages import Advertisement, SiteSubscription
+from repro.session.streams import StreamId
+
+
+@pytest.fixture
+def server(small_session) -> MembershipServer:
+    return MembershipServer(
+        session=small_session,
+        builder=RandomJoinBuilder(),
+        latency_bound_ms=150.0,
+    )
+
+
+def advertise_all(server, session) -> None:
+    for site in session.sites:
+        server.register_advertisement(
+            Advertisement(site=site.index, streams=tuple(site.stream_ids))
+        )
+
+
+class TestRegistration:
+    def test_unknown_site_rejected(self, server):
+        with pytest.raises(ProtocolError):
+            server.register_subscription(SiteSubscription(site=99, streams=()))
+
+    def test_unknown_stream_rejected(self, server):
+        with pytest.raises(ProtocolError):
+            server.register_advertisement(
+                Advertisement(site=0, streams=(StreamId(0, 999),))
+            )
+
+    def test_unadvertised_subscriptions_dropped(self, server, small_session):
+        # Only site 1 advertises; subscriptions to site 2 streams vanish.
+        server.register_advertisement(
+            Advertisement(
+                site=1, streams=tuple(small_session.site(1).stream_ids)
+            )
+        )
+        server.register_subscription(
+            SiteSubscription(
+                site=0, streams=(StreamId(1, 0), StreamId(2, 0))
+            )
+        )
+        workload = server.global_workload()
+        assert workload.streams_of(0) == (StreamId(1, 0),)
+
+
+class TestBuildOverlay:
+    def test_directive_epoch_increments(self, server, small_session, rng):
+        advertise_all(server, small_session)
+        server.register_subscription(
+            SiteSubscription(site=0, streams=(StreamId(1, 0),))
+        )
+        d1 = server.build_overlay(rng.spawn("1"))
+        d2 = server.build_overlay(rng.spawn("2"))
+        assert (d1.epoch, d2.epoch) == (1, 2)
+
+    def test_edges_cover_satisfied_requests(self, server, small_session, rng):
+        advertise_all(server, small_session)
+        server.register_subscription(
+            SiteSubscription(
+                site=0, streams=(StreamId(1, 0), StreamId(2, 0))
+            )
+        )
+        directive = server.build_overlay(rng)
+        received = directive.streams_received_by(0)
+        assert received == {StreamId(1, 0), StreamId(2, 0)}
+        assert server.last_result is not None
+        assert not server.last_result.rejected

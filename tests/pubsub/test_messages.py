@@ -1,0 +1,60 @@
+"""Tests for the control-plane message vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.model import RejectionReason, SubscriptionRequest
+from repro.pubsub.messages import (
+    Advertisement,
+    DisplaySubscription,
+    OverlayDirective,
+)
+from repro.session.streams import StreamId
+
+
+class TestDisplaySubscription:
+    def test_local_stream_rejected(self):
+        with pytest.raises(ProtocolError):
+            DisplaySubscription(
+                display_id="d0", site=1, streams=(StreamId(1, 0),)
+            )
+
+    def test_remote_streams_ok(self):
+        sub = DisplaySubscription(
+            display_id="d0", site=1, streams=(StreamId(0, 0),)
+        )
+        assert sub.streams == (StreamId(0, 0),)
+
+
+class TestAdvertisement:
+    def test_foreign_stream_rejected(self):
+        with pytest.raises(ProtocolError):
+            Advertisement(site=0, streams=(StreamId(1, 0),))
+
+
+class TestOverlayDirective:
+    def make_directive(self) -> OverlayDirective:
+        s = StreamId(0, 0)
+        t = StreamId(1, 0)
+        return OverlayDirective(
+            epoch=1,
+            edges=((s, 0, 1), (s, 1, 2), (t, 1, 0)),
+            rejected=(
+                (SubscriptionRequest(2, t), RejectionReason.TREE_SATURATED),
+            ),
+        )
+
+    def test_edges_of_site(self):
+        directive = self.make_directive()
+        assert directive.edges_of_site(1) == [
+            (StreamId(0, 0), 2),
+            (StreamId(1, 0), 0),
+        ]
+        assert directive.edges_of_site(2) == []
+
+    def test_streams_received_by(self):
+        directive = self.make_directive()
+        assert directive.streams_received_by(0) == {StreamId(1, 0)}
+        assert directive.streams_received_by(2) == {StreamId(0, 0)}

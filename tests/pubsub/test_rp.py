@@ -1,0 +1,117 @@
+"""Tests for the RP agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.pubsub.messages import DisplaySubscription, OverlayDirective
+from repro.pubsub.rp import RPAgent
+from repro.session.streams import StreamId
+
+
+@pytest.fixture
+def agent(small_session) -> RPAgent:
+    return RPAgent(small_session.site(0))
+
+
+def sub(display_id: str, streams) -> DisplaySubscription:
+    return DisplaySubscription(
+        display_id=display_id, site=0, streams=tuple(streams)
+    )
+
+
+class TestDisplayAggregation:
+    def test_union_of_displays(self, agent):
+        agent.submit_display_subscription(
+            sub("disp-0-0", [StreamId(1, 0), StreamId(1, 1)])
+        )
+        agent.submit_display_subscription(
+            sub("disp-0-1", [StreamId(1, 1), StreamId(2, 0)])
+        )
+        aggregated = agent.aggregate_subscription()
+        assert aggregated.streams == (
+            StreamId(1, 0), StreamId(1, 1), StreamId(2, 0),
+        )
+
+    def test_resubmission_replaces(self, agent):
+        agent.submit_display_subscription(sub("disp-0-0", [StreamId(1, 0)]))
+        agent.submit_display_subscription(sub("disp-0-0", [StreamId(2, 0)]))
+        assert agent.aggregate_subscription().streams == (StreamId(2, 0),)
+
+    def test_clear_display(self, agent):
+        agent.submit_display_subscription(sub("disp-0-0", [StreamId(1, 0)]))
+        agent.clear_display_subscription("disp-0-0")
+        assert agent.aggregate_subscription().streams == ()
+
+    def test_wrong_site_rejected(self, agent):
+        with pytest.raises(ProtocolError):
+            agent.submit_display_subscription(
+                DisplaySubscription(
+                    display_id="disp-0-0", site=1, streams=(StreamId(0, 0),)
+                )
+            )
+
+    def test_unknown_display_rejected(self, agent):
+        with pytest.raises(ProtocolError):
+            agent.submit_display_subscription(
+                sub("ghost-display", [StreamId(1, 0)])
+            )
+
+
+class TestAdvertisement:
+    def test_advertises_local_streams(self, agent, small_session):
+        advertisement = agent.advertisement()
+        assert advertisement.site == 0
+        assert set(advertisement.streams) == set(
+            small_session.site(0).stream_ids
+        )
+
+
+class TestDirectiveApplication:
+    def make_directive(self, epoch=1) -> OverlayDirective:
+        return OverlayDirective(
+            epoch=epoch,
+            edges=(
+                (StreamId(1, 0), 1, 0),   # site 0 receives s1^0
+                (StreamId(1, 0), 0, 2),   # site 0 relays it to site 2
+                (StreamId(0, 0), 0, 3),   # site 0 sends own stream to 3
+            ),
+        )
+
+    def test_forwarding_table(self, agent):
+        agent.apply_directive(self.make_directive())
+        assert agent.next_hops(StreamId(1, 0)) == [2]
+        assert agent.next_hops(StreamId(0, 0)) == [3]
+        assert agent.next_hops(StreamId(9, 9)) == []
+
+    def test_receiving_set(self, agent):
+        agent.apply_directive(self.make_directive())
+        assert agent.is_receiving(StreamId(1, 0))
+        assert not agent.is_receiving(StreamId(0, 0))
+        assert agent.received_streams() == {StreamId(1, 0)}
+
+    def test_stale_epoch_rejected(self, agent):
+        agent.apply_directive(self.make_directive(epoch=2))
+        with pytest.raises(ProtocolError):
+            agent.apply_directive(self.make_directive(epoch=2))
+
+    def test_epoch_tracked(self, agent):
+        assert agent.epoch == -1
+        agent.apply_directive(self.make_directive(epoch=1))
+        assert agent.epoch == 1
+
+    def test_displays_for(self, agent):
+        agent.submit_display_subscription(sub("disp-0-0", [StreamId(1, 0)]))
+        agent.submit_display_subscription(sub("disp-0-1", [StreamId(2, 0)]))
+        assert agent.displays_for(StreamId(1, 0)) == ["disp-0-0"]
+
+    def test_satisfied_fraction(self, agent):
+        agent.submit_display_subscription(
+            sub("disp-0-0", [StreamId(1, 0), StreamId(2, 0)])
+        )
+        agent.apply_directive(self.make_directive())
+        assert agent.satisfied_fraction() == pytest.approx(0.5)
+
+    def test_satisfied_fraction_empty_subscription(self, agent):
+        assert agent.satisfied_fraction() == 1.0

@@ -1,0 +1,90 @@
+"""Tests for the Sec. 5.1 node-resource distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.session.capacity import (
+    CapacityAssignment,
+    HeterogeneousCapacityModel,
+    UniformCapacityModel,
+)
+from repro.util.rng import RngStream
+
+
+class TestCapacityAssignment:
+    def test_valid(self):
+        CapacityAssignment(inbound_limit=1, outbound_limit=1, n_streams=1)
+
+    @pytest.mark.parametrize("field", ["inbound_limit", "outbound_limit", "n_streams"])
+    def test_non_positive_rejected(self, field):
+        kwargs = dict(inbound_limit=5, outbound_limit=5, n_streams=5)
+        kwargs[field] = 0
+        with pytest.raises(ConfigurationError):
+            CapacityAssignment(**kwargs)
+
+
+class TestUniformModel:
+    def test_capacity_within_band(self, rng):
+        model = UniformCapacityModel()
+        for a in model.assign(100, rng):
+            assert 15 <= a.inbound_limit <= 25
+            assert a.inbound_limit == a.outbound_limit
+
+    def test_streams_fixed_at_twenty(self, rng):
+        model = UniformCapacityModel()
+        assert all(a.n_streams == 20 for a in model.assign(10, rng))
+
+    def test_both_signs_of_jitter_occur(self, rng):
+        values = [a.inbound_limit for a in UniformCapacityModel().assign(200, rng)]
+        assert any(v < 20 for v in values)
+        assert any(v > 20 for v in values)
+
+    def test_zero_sites_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            UniformCapacityModel().assign(0, rng)
+
+    def test_deterministic(self):
+        a = UniformCapacityModel().assign(10, RngStream(4))
+        b = UniformCapacityModel().assign(10, RngStream(4))
+        assert a == b
+
+
+class TestHeterogeneousModel:
+    def test_capacity_values(self, rng):
+        capacities = {
+            a.inbound_limit
+            for a in HeterogeneousCapacityModel().assign(40, rng)
+        }
+        assert capacities <= {10, 20, 30}
+
+    def test_proportions_on_multiple_of_four(self, rng):
+        assignments = HeterogeneousCapacityModel().assign(8, rng)
+        counts = {c: 0 for c in (10, 20, 30)}
+        for a in assignments:
+            counts[a.inbound_limit] += 1
+        assert counts[30] == 4  # 50 %
+        assert counts[20] == 2  # 25 %
+        assert counts[10] == 2  # 25 %
+
+    def test_apportionment_sums_to_n(self, rng):
+        for n in range(1, 12):
+            assert len(HeterogeneousCapacityModel().assign(n, rng)) == n
+
+    def test_stream_count_range(self, rng):
+        for a in HeterogeneousCapacityModel().assign(60, rng):
+            assert 10 <= a.n_streams <= 30
+
+    def test_invalid_stream_range(self, rng):
+        model = HeterogeneousCapacityModel(streams_low=30, streams_high=10)
+        with pytest.raises(ConfigurationError):
+            model.assign(4, rng)
+
+    def test_shuffled_not_sorted(self):
+        # With 40 sites the deck is big enough that a sorted output
+        # would be an astronomically unlikely shuffle.
+        assignments = HeterogeneousCapacityModel().assign(40, RngStream(9))
+        values = [a.inbound_limit for a in assignments]
+        assert values != sorted(values)
+        assert values != sorted(values, reverse=True)

@@ -1,0 +1,88 @@
+"""Tests for session assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SessionError
+from repro.session.capacity import UniformCapacityModel
+from repro.session.session import SessionConfig, TISession, build_session
+from repro.util.rng import RngStream
+
+
+class TestBuildSession:
+    def test_structure(self, small_session):
+        assert small_session.n_sites == 4
+        for index, site in enumerate(small_session.sites):
+            assert site.index == index
+            assert len(site.cameras) == 6
+            assert len(site.displays) == 2
+
+    def test_registry_covers_all_cameras(self, small_session):
+        assert small_session.total_streams() == 4 * 6
+
+    def test_distinct_pops(self, small_session):
+        pops = [site.pop_id for site in small_session.sites]
+        assert len(set(pops)) == len(pops)
+
+    def test_cost_symmetry_and_zero_diagonal(self, small_session):
+        for a in range(4):
+            assert small_session.cost_ms(a, a) == 0.0
+            for b in range(4):
+                assert small_session.cost_ms(a, b) == pytest.approx(
+                    small_session.cost_ms(b, a)
+                )
+
+    def test_cost_positive_between_distinct_sites(self, small_session):
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert small_session.cost_ms(a, b) > 0
+
+    def test_deterministic_given_seed(self, tier1_topology):
+        def build(seed):
+            return build_session(
+                tier1_topology,
+                UniformCapacityModel(),
+                RngStream(seed),
+                SessionConfig(n_sites=5),
+            )
+
+        a, b = build(3), build(3)
+        assert [s.pop_id for s in a.sites] == [s.pop_id for s in b.sites]
+        assert [s.rp.inbound_limit for s in a.sites] == [
+            s.rp.inbound_limit for s in b.sites
+        ]
+
+    def test_camera_poses_assigned(self, small_session):
+        for site in small_session.sites:
+            assert all(camera.pose is not None for camera in site.cameras)
+
+    def test_unknown_site_raises(self, small_session):
+        with pytest.raises(SessionError):
+            small_session.site(99)
+        with pytest.raises(SessionError):
+            small_session.cost_ms(0, 99)
+
+    def test_cost_matrix_copy_is_safe(self, small_session):
+        matrix = small_session.cost_matrix()
+        matrix[0][1] = -1.0
+        assert small_session.cost_ms(0, 1) >= 0.0
+
+
+class TestSessionValidation:
+    def test_bad_site_order_rejected(self, small_session):
+        sites = list(small_session.sites)
+        sites[0], sites[1] = sites[1], sites[0]
+        with pytest.raises(SessionError):
+            TISession(
+                topology=small_session.topology,
+                sites=sites,
+                registry=small_session.registry,
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(SessionError):
+            SessionConfig(n_sites=0)
+        with pytest.raises(SessionError):
+            SessionConfig(displays_per_site=0)

@@ -1,0 +1,73 @@
+"""Tests for churn / rebuild experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import ForestProblem
+from repro.core.randomized import RandomJoinBuilder
+from repro.sim.churn import problem_without_site, rebuild_after_leave
+from repro.workload.coverage import CoverageWorkloadModel
+
+
+@pytest.fixture
+def workload(small_session, rng):
+    return CoverageWorkloadModel(interest=0.3).generate(
+        small_session, rng.spawn("wl")
+    )
+
+
+class TestProblemWithoutSite:
+    def test_site_fully_removed(self, small_session, workload):
+        problem = ForestProblem.from_workload(small_session, workload, 200.0)
+        reduced = problem_without_site(problem, 1)
+        assert reduced.inbound_limit(1) == 0
+        assert reduced.outbound_limit(1) == 0
+        for group in reduced.groups:
+            assert group.source != 1
+            assert 1 not in group.subscribers
+
+    def test_other_groups_preserved(self, small_session, workload):
+        problem = ForestProblem.from_workload(small_session, workload, 200.0)
+        reduced = problem_without_site(problem, 1)
+        survivors = {
+            g.stream for g in problem.groups
+            if g.source != 1 and g.subscribers - {1}
+        }
+        assert {g.stream for g in reduced.groups} == survivors
+
+
+class TestRebuild:
+    def test_report_consistency(self, small_session, workload, rng):
+        report, before, after = rebuild_after_leave(
+            small_session, workload, 2, RandomJoinBuilder(), rng, 200.0
+        )
+        before.verify()
+        after.verify()
+        assert report.leaving_site == 2
+        assert report.satisfied_before == len(before.satisfied)
+        assert report.satisfied_after == len(after.satisfied)
+        assert 0 <= report.disruption_ratio <= 1.0
+        assert report.parent_changes <= report.surviving_requests
+
+    def test_leaving_site_absent_after(self, small_session, workload, rng):
+        _, _, after = rebuild_after_leave(
+            small_session, workload, 0, RandomJoinBuilder(), rng, 200.0
+        )
+        for request in after.satisfied:
+            assert request.subscriber != 0
+            assert request.source != 0
+
+    def test_empty_survivors_zero_disruption(self):
+        from repro.sim.churn import RebuildReport
+
+        report = RebuildReport(
+            leaving_site=0,
+            satisfied_before=0,
+            satisfied_after=0,
+            surviving_requests=0,
+            parent_changes=0,
+            rejection_ratio_before=0.0,
+            rejection_ratio_after=0.0,
+        )
+        assert report.disruption_ratio == 0.0

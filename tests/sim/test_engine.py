@@ -1,0 +1,102 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(5.0, lambda: order.append("b"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule_at(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(10.0, lambda: sim.schedule_in(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        sim.schedule_at(4.0, lambda: None)
+        sim.run()
+        assert sim.now == 4.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: sim.schedule_at(5.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(10.0, lambda: seen.append(10))
+        executed = sim.run(until_ms=5.0)
+        assert executed == 1
+        assert seen == [1]
+        assert sim.pending_events == 1
+        assert sim.now == 5.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(10.0, lambda: seen.append(10))
+        sim.run(until_ms=5.0)
+        sim.run()
+        assert seen == [10]
+
+    def test_event_counters(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        failures = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError:
+                failures.append(True)
+
+        sim.schedule_at(0.0, nested)
+        sim.run()
+        assert failures == [True]

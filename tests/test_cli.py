@@ -1,0 +1,52 @@
+"""Unit tests for the CLI argument parser (integration runs elsewhere)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser
+
+
+class TestParser:
+    def test_fig8_defaults(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.command == "fig8"
+        assert args.workload == "random"
+        assert args.nodes == "uniform"
+        assert args.samples == 200
+        assert args.seed == 42
+        assert not args.no_plot
+
+    def test_fig8_options(self):
+        args = build_parser().parse_args(
+            ["fig8", "--workload", "zipf", "--nodes", "heterogeneous",
+             "--samples", "10", "--seed", "3", "--no-plot"]
+        )
+        assert args.workload == "zipf"
+        assert args.nodes == "heterogeneous"
+        assert args.samples == 10
+        assert args.seed == 3
+        assert args.no_plot
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--workload", "gaussian"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize("command", ["fig9", "fig10", "fig11", "all"])
+    def test_other_figures_parse(self, command):
+        args = build_parser().parse_args([command, "--samples", "5"])
+        assert args.command == command
+        assert args.samples == 5
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(["demo", "--sites", "7", "--seed", "9"])
+        assert args.sites == 7
+        assert args.seed == 9
+
+    def test_backbone_option(self):
+        args = build_parser().parse_args(["fig9", "--backbone", "abilene"])
+        assert args.backbone == "abilene"

@@ -1,0 +1,69 @@
+"""Tests for site placement strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology.geo import haversine_km
+from repro.topology.placement import place_sites
+from repro.util.rng import RngStream
+
+
+class TestRandomPlacement:
+    def test_distinct_sites(self, tier1_topology, rng):
+        sites = place_sites(tier1_topology, 8, rng=rng)
+        assert len(sites) == 8
+        assert len(set(sites)) == 8
+
+    def test_requires_rng(self, tier1_topology):
+        with pytest.raises(ConfigurationError):
+            place_sites(tier1_topology, 3, rng=None, strategy="random")
+
+    def test_too_many_sites(self, tier1_topology, rng):
+        with pytest.raises(TopologyError):
+            place_sites(tier1_topology, len(tier1_topology) + 1, rng=rng)
+
+    def test_zero_sites_rejected(self, tier1_topology, rng):
+        with pytest.raises(ConfigurationError):
+            place_sites(tier1_topology, 0, rng=rng)
+
+    def test_deterministic(self, tier1_topology):
+        a = place_sites(tier1_topology, 5, rng=RngStream(3))
+        b = place_sites(tier1_topology, 5, rng=RngStream(3))
+        assert a == b
+
+
+class TestSpreadPlacement:
+    def test_distinct_sites(self, tier1_topology, rng):
+        sites = place_sites(tier1_topology, 6, rng=rng, strategy="spread")
+        assert len(set(sites)) == 6
+
+    def test_spread_beats_random_min_distance(self, tier1_topology):
+        def min_pairwise(sites):
+            return min(
+                haversine_km(
+                    tier1_topology.location(a), tier1_topology.location(b)
+                )
+                for i, a in enumerate(sites)
+                for b in sites[i + 1 :]
+            )
+
+        rng = RngStream(5)
+        spread = place_sites(tier1_topology, 6, rng=RngStream(5), strategy="spread")
+        randoms = [
+            place_sites(tier1_topology, 6, rng=rng.spawn(str(k)))
+            for k in range(10)
+        ]
+        mean_random = sum(min_pairwise(s) for s in randoms) / len(randoms)
+        assert min_pairwise(spread) >= mean_random
+
+    def test_works_without_rng(self, tier1_topology):
+        sites = place_sites(tier1_topology, 4, rng=None, strategy="spread")
+        assert len(set(sites)) == 4
+
+
+class TestErrors:
+    def test_unknown_strategy(self, tier1_topology, rng):
+        with pytest.raises(ConfigurationError, match="strategy"):
+            place_sites(tier1_topology, 3, rng=rng, strategy="magnetic")

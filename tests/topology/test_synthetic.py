@@ -1,0 +1,90 @@
+"""Tests for the synthetic Waxman-geographic backbone generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.synthetic import SyntheticBackboneConfig, synthetic_backbone
+from repro.util.rng import RngStream
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticBackboneConfig().validate()
+
+    def test_too_few_pops(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBackboneConfig(n_pops=1).validate()
+
+    def test_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBackboneConfig(waxman_beta=1.5).validate()
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBackboneConfig(waxman_alpha=0.0).validate()
+
+    def test_negative_extra_degree(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBackboneConfig(extra_degree=-1.0).validate()
+
+    def test_empty_regions(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticBackboneConfig(regions=[]).validate()
+
+
+class TestGenerator:
+    def test_pop_count(self):
+        topo = synthetic_backbone(
+            SyntheticBackboneConfig(n_pops=15), RngStream(3)
+        )
+        assert len(topo) == 15
+
+    def test_always_connected(self):
+        for seed in range(5):
+            topo = synthetic_backbone(
+                SyntheticBackboneConfig(n_pops=12, waxman_beta=0.1),
+                RngStream(seed),
+            )
+            assert topo.is_connected()
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticBackboneConfig(n_pops=10)
+        a = synthetic_backbone(config, RngStream(5))
+        b = synthetic_backbone(config, RngStream(5))
+        assert sorted((l.a, l.b) for l in a.links()) == sorted(
+            (l.a, l.b) for l in b.links()
+        )
+
+    def test_seed_changes_graph(self):
+        config = SyntheticBackboneConfig(n_pops=10)
+        a = synthetic_backbone(config, RngStream(5))
+        b = synthetic_backbone(config, RngStream(6))
+        assert sorted((l.a, l.b) for l in a.links()) != sorted(
+            (l.a, l.b) for l in b.links()
+        )
+
+    def test_extra_degree_adds_links(self):
+        sparse = synthetic_backbone(
+            SyntheticBackboneConfig(n_pops=20, extra_degree=0.0, waxman_beta=1.0),
+            RngStream(1),
+        )
+        dense = synthetic_backbone(
+            SyntheticBackboneConfig(n_pops=20, extra_degree=4.0, waxman_beta=1.0),
+            RngStream(1),
+        )
+        assert dense.link_count() > sparse.link_count()
+
+    def test_minimum_two_pops(self):
+        topo = synthetic_backbone(
+            SyntheticBackboneConfig(n_pops=2), RngStream(1)
+        )
+        assert topo.is_connected()
+        assert topo.link_count() >= 1
+
+    def test_pops_carry_region_names(self):
+        topo = synthetic_backbone(
+            SyntheticBackboneConfig(n_pops=8), RngStream(2)
+        )
+        assert all("pop-" in pop for pop in topo.pop_ids)

@@ -1,0 +1,42 @@
+"""Tests for the terminal line plots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ascii_plot import line_plot
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        out = line_plot({"rj": [0.1, 0.2, 0.3]}, [3, 4, 5])
+        assert "o=rj" in out
+        assert "o" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = line_plot({"a": [1.0, 2.0], "b": [2.0, 1.0]}, [0, 1])
+        assert "o=a" in out and "x=b" in out
+
+    def test_flat_series_renders(self):
+        out = line_plot({"flat": [1.0, 1.0, 1.0]}, [1, 2, 3])
+        assert "flat" in out
+
+    def test_title(self):
+        out = line_plot({"a": [1.0]}, [0], title="The Title")
+        assert out.splitlines()[0] == "The Title"
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({}, [1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [1.0, 2.0]}, [1])
+
+    def test_no_x_values_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": []}, [])
+
+    def test_y_range_in_border(self):
+        out = line_plot({"a": [0.0, 10.0]}, [0, 1])
+        assert "10.0000" in out and "0.0000" in out

@@ -1,0 +1,48 @@
+"""Tests for the Zipf and uniform popularity weight models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.session.streams import StreamId
+from repro.workload.uniform import UniformPopularity
+from repro.workload.zipf import ZipfPopularity
+
+
+def streams(n: int = 6) -> list[StreamId]:
+    return [StreamId(0, q) for q in range(n)]
+
+
+class TestZipf:
+    def test_weights_decay_by_camera_rank(self):
+        weights = ZipfPopularity(exponent=1.0).weights(streams())
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.5)
+
+    def test_exponent_sharpens_decay(self):
+        shallow = ZipfPopularity(exponent=0.5).weights(streams())
+        steep = ZipfPopularity(exponent=2.0).weights(streams())
+        assert steep[1] / steep[0] < shallow[1] / shallow[0]
+
+    def test_rank_depends_on_index_not_site(self):
+        a = ZipfPopularity().weights([StreamId(0, 3)])
+        b = ZipfPopularity().weights([StreamId(7, 3)])
+        assert a == b
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(exponent=0.0)
+
+    def test_empty(self):
+        assert ZipfPopularity().weights([]) == []
+
+
+class TestUniform:
+    def test_all_ones(self):
+        assert UniformPopularity().weights(streams()) == [1.0] * 6
+
+    def test_name(self):
+        assert UniformPopularity().name == "uniform"
+        assert ZipfPopularity().name == "zipf"

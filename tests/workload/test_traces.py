@@ -1,0 +1,68 @@
+"""Tests for workload trace serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.session.streams import StreamId
+from repro.workload.spec import SubscriptionWorkload
+from repro.workload.traces import (
+    load_traces,
+    save_traces,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+def make_workload() -> SubscriptionWorkload:
+    return SubscriptionWorkload.from_site_sets(
+        3, {0: [StreamId(1, 0)], 2: [StreamId(0, 1), StreamId(1, 2)]}
+    )
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        workload = make_workload()
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored.subscriptions == workload.subscriptions
+        assert restored.n_sites == workload.n_sites
+
+    def test_bad_version(self):
+        data = workload_to_dict(make_workload())
+        data["version"] = 99
+        with pytest.raises(SubscriptionError):
+            workload_from_dict(data)
+
+    def test_missing_key(self):
+        with pytest.raises(SubscriptionError):
+            workload_from_dict({"version": 1})
+
+    def test_malformed_stream(self):
+        data = workload_to_dict(make_workload())
+        data["subscriptions"]["0"] = [["x", "y"]]
+        with pytest.raises(SubscriptionError):
+            workload_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        workloads = [make_workload(), make_workload()]
+        path = tmp_path / "traces.jsonl"
+        count = save_traces(path, workloads)
+        assert count == 2
+        loaded = load_traces(path)
+        assert len(loaded) == 2
+        assert loaded[0].subscriptions == workloads[0].subscriptions
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        save_traces(path, [make_workload()])
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_traces(path)) == 1
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(SubscriptionError, match="traces.jsonl:1"):
+            load_traces(path)
