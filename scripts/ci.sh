@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Lightweight CI for the reproduction repo.
+#
+#   scripts/ci.sh          tier-1 tests + one audited scenario smoke check
+#   scripts/ci.sh --full   additionally enables the slow/stress test matrix
+#
+# Exits non-zero on any test failure or invariant violation.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+EXTRA=()
+if [[ "${1:-}" == "--full" ]]; then
+    EXTRA+=(--runslow)
+fi
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "${EXTRA[@]}"
+
+echo
+echo "== audited scenario smoke check =="
+python -m repro.cli scenario run flash-crowd --sites 6 --seed 7 --audit --strict
+
+echo
+echo "ci.sh: all checks passed"

@@ -18,8 +18,31 @@ Quickstart::
     result = make_builder("rj").build(problem, rng.spawn("build"))
     print(result.forest)
 
-See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
-per-figure reproduction harnesses.
+Scenarios
+---------
+
+``repro.scenarios`` stresses the whole control plane with adversarial,
+seeded session shapes — flash-crowd joins, mass leaves, rolling site
+failures, FOV thrash, capacity starvation and long mixed churn — while
+the runtime :class:`~repro.sim.invariants.InvariantAuditor` re-derives
+every structural invariant (forest acyclicity, parent/child symmetry,
+per-RP capacity bounds and ``m̂`` reservation accounting, the ``B_cost``
+latency bound, pub-sub membership ↔ forest consistency) after every
+control-plane event::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    report = run_scenario(get_scenario("flash-crowd", sites=8, seed=7))
+    assert report.ok, report.summary()
+    print(report.audit.digest)   # bit-for-bit reproducible given the seed
+
+The same scenarios drive ``tele3d scenario run <name> --sites 8 --audit``
+on the command line, and every figure command accepts ``--audit`` to
+verify each constructed overlay during a sweep.
+
+See ``examples/`` for end-to-end scenarios (``examples/stress_audit.py``
+for the audited stress loop) and ``benchmarks/`` for the per-figure
+reproduction harnesses.
 """
 
 from __future__ import annotations
@@ -63,6 +86,14 @@ from repro.session import (
     UniformCapacityModel,
     build_session,
 )
+from repro.scenarios import (
+    ScenarioReport,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.sim import AuditReport, InvariantAuditor
 from repro.topology import Topology, load_backbone, place_sites
 from repro.workload import (
     SubscriptionWorkload,
@@ -121,6 +152,14 @@ __all__ = [
     "WorkloadSpec",
     "ZipfPopularity",
     "RngStream",
+    # scenarios / auditing
+    "AuditReport",
+    "InvariantAuditor",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     # convenience
     "quick_session",
     "quick_problem",

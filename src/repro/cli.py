@@ -8,6 +8,14 @@ Regenerates the paper's figures as ASCII tables and terminal plots, e.g.::
     tele3d fig11
     tele3d all --samples 200
     tele3d demo
+
+and runs audited stress scenarios against the control plane::
+
+    tele3d scenario list
+    tele3d scenario run flash-crowd --sites 8 --audit
+
+Any figure command accepts ``--audit`` to re-derive every structural
+invariant of every constructed overlay (fails loudly on violation).
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import time
 from dataclasses import replace
 from typing import Sequence
 
+from repro.errors import Tele3DError
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -34,6 +43,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="embedded backbone dataset (abilene | tier1)")
     parser.add_argument("--no-plot", action="store_true",
                         help="print tables only, skip ASCII plots")
+    parser.add_argument("--audit", action="store_true",
+                        help="audit every constructed overlay's invariants")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +82,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pscore.add_argument("--samples", type=int, default=30)
     pscore.add_argument("--seed", type=int, default=42)
+
+    pscen = sub.add_parser(
+        "scenario", help="run audited stress scenarios on the control plane"
+    )
+    scen_sub = pscen.add_subparsers(dest="scenario_command", required=True)
+    scen_run = scen_sub.add_parser("run", help="execute one named scenario")
+    scen_run.add_argument("name", help="scenario name (see 'scenario list')")
+    scen_run.add_argument("--sites", type=int, default=8,
+                          help="site-pool size (default 8)")
+    scen_run.add_argument("--seed", type=int, default=7, help="root RNG seed")
+    scen_run.add_argument("--algorithm", default=None,
+                          help="override the overlay builder (ltf|stf|mctf|"
+                               "rj|co-rj|gran-ltf)")
+    audit_group = scen_run.add_mutually_exclusive_group()
+    audit_group.add_argument("--audit", dest="audit", action="store_true",
+                             default=True,
+                             help="audit invariants each round (default)")
+    audit_group.add_argument("--no-audit", dest="audit", action="store_false",
+                             help="skip invariant auditing")
+    scen_run.add_argument("--strict", action="store_true",
+                          help="abort on the first invariant violation")
+    scen_sub.add_parser("list", help="list the named scenarios")
     return parser
 
 
@@ -81,6 +114,7 @@ def _setting(args: argparse.Namespace, workload: str, nodes: str) -> ExperimentS
         samples=args.samples,
         seed=args.seed,
         backbone=args.backbone,
+        audit=getattr(args, "audit", False),
     )
 
 
@@ -196,6 +230,23 @@ def cmd_scorecard(args: argparse.Namespace) -> None:
     print(render_scorecard(claims))
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Dispatch ``scenario run`` / ``scenario list``."""
+    from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+    if args.scenario_command == "list":
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(spec.describe())
+        return 0
+    spec = get_scenario(args.name, sites=args.sites, seed=args.seed)
+    if args.algorithm:
+        spec = replace(spec, algorithm=args.algorithm)
+    report = run_scenario(spec, audit=args.audit, strict=args.strict)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -208,9 +259,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "all": cmd_all,
         "demo": cmd_demo,
         "scorecard": cmd_scorecard,
+        "scenario": cmd_scenario,
     }
-    handlers[args.command](args)
-    return 0
+    try:
+        outcome = handlers[args.command](args)
+    except Tele3DError as error:
+        print(f"tele3d: error: {error}", file=sys.stderr)
+        return 2
+    return int(outcome) if outcome is not None else 0
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ from typing import Sequence
 
 from repro.core.metrics import ForestMetrics
 from repro.core.randomized import RandomJoinBuilder
-from repro.experiments.runner import SeriesResult, sample_problems
+from repro.experiments.runner import SeriesResult, audit_hook, sample_problems
 from repro.experiments.settings import ExperimentSetting
 from repro.topology.backbone import load_backbone
 from repro.util.rng import RngStream
@@ -40,6 +40,7 @@ def run_fig10(
         )
     topology = load_backbone(setting.backbone)
     builder = RandomJoinBuilder()
+    auditor = audit_hook(setting)
     result = SeriesResult(xs=list(n_sites_values))
     build_root = RngStream(setting.seed, label=f"{setting.label()}-fig10")
     for n_sites in n_sites_values:
@@ -51,7 +52,10 @@ def run_fig10(
             sample_problems(setting, n_sites, topology=topology)
         ):
             rng = build_root.spawn(f"N{n_sites}/sample{index}")
-            metrics = ForestMetrics.of(builder.build(problem, rng))
+            build = builder.build(problem, rng)
+            if auditor is not None:
+                auditor.audit_build(build, event=f"fig10/N{n_sites}/{index}")
+            metrics = ForestMetrics.of(build)
             total_util += metrics.mean_out_utilization
             total_std += metrics.std_out_utilization
             total_relay += metrics.mean_relay_fraction

@@ -17,7 +17,7 @@ from typing import Sequence
 from repro.core.correlation import CorrelatedRandomJoinBuilder
 from repro.core.metrics import correlation_weighted_rejection, criticality_loss_ratio
 from repro.core.randomized import RandomJoinBuilder
-from repro.experiments.runner import SeriesResult, sample_problems
+from repro.experiments.runner import SeriesResult, audit_hook, sample_problems
 from repro.experiments.settings import ExperimentSetting
 from repro.topology.backbone import load_backbone
 from repro.util.rng import RngStream
@@ -44,6 +44,7 @@ def run_fig11(
         )
     topology = load_backbone(setting.backbone)
     builders = {"rj": RandomJoinBuilder(), "co-rj": CorrelatedRandomJoinBuilder()}
+    auditor = audit_hook(setting)
     result = SeriesResult(xs=list(n_sites_values))
     build_root = RngStream(setting.seed, label=f"{setting.label()}-fig11")
     for n_sites in n_sites_values:
@@ -57,6 +58,10 @@ def run_fig11(
             for name, builder in builders.items():
                 rng = build_root.spawn(f"N{n_sites}/sample{index}/{name}")
                 build = builder.build(problem, rng)
+                if auditor is not None:
+                    auditor.audit_build(
+                        build, event=f"fig11/N{n_sites}/{index}/{name}"
+                    )
                 totals[name] += criticality_loss_ratio(build)
                 eq3_totals[name] += correlation_weighted_rejection(build)
         for name in builders:

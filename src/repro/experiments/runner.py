@@ -75,6 +75,20 @@ def sample_problems(
         )
 
 
+def audit_hook(setting: ExperimentSetting):
+    """A strict :class:`InvariantAuditor` when ``setting.audit``, else None.
+
+    Every figure harness passes each build result through the hook so
+    ``--audit`` sweeps abort with :class:`~repro.errors.SimulationError`
+    on the first structural violation.
+    """
+    if not setting.audit:
+        return None
+    from repro.sim.invariants import InvariantAuditor
+
+    return InvariantAuditor(strict=True)
+
+
 def mean_metric_per_builder(
     setting: ExperimentSetting,
     n_sites: int,
@@ -82,9 +96,15 @@ def mean_metric_per_builder(
     metric: Callable[[BuildResult], float],
     topology: Topology | None = None,
 ) -> dict[str, float]:
-    """Average ``metric`` over all samples, per builder (paired runs)."""
+    """Average ``metric`` over all samples, per builder (paired runs).
+
+    With ``setting.audit`` set, every build result is audited by a strict
+    :class:`~repro.sim.invariants.InvariantAuditor`; the first structural
+    violation aborts the sweep with :class:`~repro.errors.SimulationError`.
+    """
     totals = {name: 0.0 for name in builders}
     count = 0
+    auditor = audit_hook(setting)
     build_root = RngStream(setting.seed, label=f"{setting.label()}-build")
     for index, problem in enumerate(
         sample_problems(setting, n_sites, topology=topology)
@@ -93,6 +113,10 @@ def mean_metric_per_builder(
         for name, builder in builders.items():
             rng = build_root.spawn(f"N{n_sites}/sample{index}/{name}")
             result = builder.build(problem, rng)
+            if auditor is not None:
+                auditor.audit_build(
+                    result, event=f"N{n_sites}/sample{index}/{name}"
+                )
             totals[name] += metric(result)
     if count == 0:
         return {name: 0.0 for name in builders}

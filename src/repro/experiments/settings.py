@@ -54,6 +54,10 @@ class ExperimentSetting:
     displays_per_site: int = 4
     fov_size: int = 8
     zipf_exponent: float = 1.0
+    #: Audit every constructed overlay with the runtime
+    #: :class:`~repro.sim.invariants.InvariantAuditor`, aborting the
+    #: sweep on the first structural violation.
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.workload not in ("zipf", "random"):

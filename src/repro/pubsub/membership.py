@@ -50,6 +50,18 @@ class MembershipServer:
         self._check_site(subscription.site)
         self._subscriptions[subscription.site] = subscription.streams
 
+    def withdraw_site(self, site: int) -> None:
+        """Forget a site's advertisement and subscription (leave/failure).
+
+        Subsequent rounds build as if the site never reported: its streams
+        stop being available (subscriptions to them are dropped by the
+        advertisement matching in :meth:`global_workload`) and it requests
+        nothing.  Idempotent.
+        """
+        self._check_site(site)
+        self._advertised.pop(site, None)
+        self._subscriptions.pop(site, None)
+
     def _check_site(self, site: int) -> None:
         if not 0 <= site < self.session.n_sites:
             raise ProtocolError(f"unknown site {site}")

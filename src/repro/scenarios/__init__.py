@@ -1,0 +1,34 @@
+"""Scenario stress subsystem: declarative adversarial sessions + auditing.
+
+Compose a :class:`ScenarioSpec` (or pick a named one from the library),
+run it through the :class:`ScenarioRuntime`, and read the resulting
+:class:`ScenarioReport` — including the
+:class:`~repro.sim.invariants.InvariantAuditor` digest that makes runs
+comparable bit-for-bit across machines::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    report = run_scenario(get_scenario("flash-crowd", sites=8, seed=7))
+    assert report.ok, report.summary()
+"""
+
+from repro.scenarios.library import get_scenario, scenario_names
+from repro.scenarios.runtime import ScenarioReport, ScenarioRuntime, run_scenario
+from repro.scenarios.spec import (
+    EventKind,
+    SchedulePhase,
+    ScenarioEvent,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "EventKind",
+    "SchedulePhase",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "ScenarioReport",
+    "ScenarioRuntime",
+    "run_scenario",
+    "get_scenario",
+    "scenario_names",
+]

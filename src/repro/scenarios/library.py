@@ -1,0 +1,153 @@
+"""The named stress-scenario library.
+
+Six adversarial session shapes, each parameterized by site-pool size and
+seed so the same scenario scales from smoke test to stress run:
+
+* ``flash-crowd`` — a near-empty session absorbs a join burst;
+* ``mass-leave`` — most of a full session departs mid-run;
+* ``rolling-failure`` — abrupt site failures staggered across the run,
+  with some sites rejoining afterwards;
+* ``fov-thrash`` — stable membership, but displays re-draw their FOV
+  stream sets constantly;
+* ``capacity-starvation`` — per-RP capacity far below demand, forcing
+  the rejection machinery through every round;
+* ``mixed-churn`` — a long session mixing all of the above.
+
+Every factory returns a plain :class:`~repro.scenarios.spec.ScenarioSpec`;
+use :func:`get_scenario` / :func:`scenario_names` for lookup and
+:func:`repro.scenarios.runtime.run_scenario` to execute one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import EventKind, SchedulePhase, ScenarioSpec
+
+
+def flash_crowd(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """A handful of sites online, then everyone joins within 300 ms."""
+    initial = max(1, sites // 4)
+    return ScenarioSpec(
+        name="flash-crowd",
+        n_sites=sites,
+        initial_active=initial,
+        duration_ms=1000.0,
+        seed=seed,
+        schedule=(
+            SchedulePhase(EventKind.JOIN, 0.0, 300.0, sites - initial),
+            SchedulePhase(EventKind.FOV_CHANGE, 300.0, 900.0, sites),
+        ),
+    )
+
+
+def mass_leave(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """A full session loses 60% of its sites in a narrow window."""
+    return ScenarioSpec(
+        name="mass-leave",
+        n_sites=sites,
+        initial_active=sites,
+        duration_ms=1000.0,
+        seed=seed,
+        schedule=(
+            SchedulePhase(EventKind.FOV_CHANGE, 0.0, 300.0, sites // 2),
+            SchedulePhase(EventKind.LEAVE, 300.0, 600.0, (sites * 3) // 5),
+            SchedulePhase(EventKind.FOV_CHANGE, 600.0, 950.0, sites // 2),
+        ),
+    )
+
+
+def rolling_failure(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Abrupt failures roll through the session; some sites recover."""
+    return ScenarioSpec(
+        name="rolling-failure",
+        n_sites=sites,
+        initial_active=sites,
+        duration_ms=1000.0,
+        seed=seed,
+        schedule=(
+            SchedulePhase(EventKind.FAIL, 100.0, 800.0, max(1, sites // 2)),
+            SchedulePhase(EventKind.JOIN, 400.0, 950.0, max(1, sites // 3)),
+        ),
+    )
+
+
+def fov_thrash(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Static membership; displays re-aim constantly (ViewCast churn)."""
+    return ScenarioSpec(
+        name="fov-thrash",
+        n_sites=sites,
+        initial_active=sites,
+        duration_ms=1000.0,
+        seed=seed,
+        displays_per_site=3,
+        schedule=(
+            SchedulePhase(EventKind.FOV_CHANGE, 0.0, 1000.0, 6 * sites),
+        ),
+    )
+
+
+def capacity_starvation(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Demand far above per-RP capacity: the rejection path under load."""
+    return ScenarioSpec(
+        name="capacity-starvation",
+        n_sites=sites,
+        initial_active=sites,
+        duration_ms=800.0,
+        seed=seed,
+        capacity_base=3,
+        capacity_jitter=1,
+        streams_per_site=6,
+        fov_size=6,
+        schedule=(
+            SchedulePhase(EventKind.FOV_CHANGE, 0.0, 700.0, 2 * sites),
+            SchedulePhase(EventKind.LEAVE, 300.0, 500.0, max(1, sites // 4)),
+            SchedulePhase(EventKind.JOIN, 500.0, 750.0, max(1, sites // 4)),
+        ),
+    )
+
+
+def mixed_churn(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Long-running session mixing joins, leaves, failures and FOV churn."""
+    initial = max(2, sites // 2)
+    return ScenarioSpec(
+        name="mixed-churn",
+        n_sites=sites,
+        initial_active=initial,
+        duration_ms=2000.0,
+        seed=seed,
+        schedule=(
+            SchedulePhase(EventKind.JOIN, 0.0, 1500.0, sites),
+            SchedulePhase(EventKind.LEAVE, 500.0, 1800.0, max(1, sites // 3)),
+            SchedulePhase(EventKind.FAIL, 800.0, 1900.0, max(1, sites // 4)),
+            SchedulePhase(EventKind.FOV_CHANGE, 0.0, 2000.0, 3 * sites),
+        ),
+    )
+
+
+_SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
+    "flash-crowd": flash_crowd,
+    "mass-leave": mass_leave,
+    "rolling-failure": rolling_failure,
+    "fov-thrash": fov_thrash,
+    "capacity-starvation": capacity_starvation,
+    "mixed-churn": mixed_churn,
+}
+
+
+def scenario_names() -> list[str]:
+    """Names accepted by :func:`get_scenario`, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str, sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Instantiate a named scenario for a given pool size and seed."""
+    try:
+        factory = _SCENARIOS[name.lower()]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known scenarios: {known}"
+        ) from None
+    return factory(sites, seed)

@@ -1,0 +1,255 @@
+"""Scenario execution: timed events driven through a live control plane.
+
+The :class:`ScenarioRuntime` assembles a full session for a spec's site
+pool, keeps an *active set* of joined sites, and replays the compiled
+event schedule on the deterministic simulator.  Every event mutates the
+membership/subscription state the way the paper's centralized model
+prescribes (Sec. 3.2: the server re-solves the overlay whenever
+membership or subscriptions change) and then runs one control round:
+advertise, aggregate, build, install.  With auditing enabled, the
+:class:`~repro.sim.invariants.InvariantAuditor` re-derives every
+structural invariant after each round, so a whole randomized session
+becomes one large property check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.registry import make_builder
+from repro.pubsub.membership import MembershipServer
+from repro.pubsub.messages import DisplaySubscription
+from repro.pubsub.rp import RPAgent
+from repro.scenarios.spec import EventKind, ScenarioEvent, ScenarioSpec
+from repro.session.capacity import HeterogeneousCapacityModel, UniformCapacityModel
+from repro.session.session import SessionConfig, TISession, build_session
+from repro.sim.engine import Simulator
+from repro.sim.invariants import AuditReport, InvariantAuditor
+from repro.topology.backbone import load_backbone
+from repro.util.rng import RngStream
+
+
+@dataclass
+class ScenarioReport:
+    """Aggregate outcome of one scenario run."""
+
+    name: str
+    seed: int
+    n_sites: int
+    duration_ms: float
+    rounds: int = 0
+    events: dict[str, int] = field(default_factory=dict)
+    skipped_events: int = 0
+    final_active: int = 0
+    requests_total: int = 0
+    rejected_total: int = 0
+    audit: AuditReport | None = None
+
+    @property
+    def rejection_ratio(self) -> float:
+        """Rejected fraction over all control rounds."""
+        if self.requests_total == 0:
+            return 0.0
+        return self.rejected_total / self.requests_total
+
+    @property
+    def ok(self) -> bool:
+        """True when auditing was off or found nothing."""
+        return self.audit is None or self.audit.ok
+
+    def summary(self) -> str:
+        """Multi-line report for CLI output."""
+        mix = ", ".join(f"{kind}={count}" for kind, count in sorted(self.events.items()))
+        lines = [
+            f"scenario {self.name} (seed {self.seed}): {self.rounds} control "
+            f"rounds over {self.duration_ms:.0f}ms",
+            f"events: {mix or 'none'}"
+            + (f" ({self.skipped_events} skipped)" if self.skipped_events else ""),
+            f"final active sites: {self.final_active}/{self.n_sites}",
+            f"requests: {self.requests_total} total, {self.rejected_total} "
+            f"rejected ({self.rejection_ratio:.1%})",
+        ]
+        if self.audit is not None:
+            lines.append(self.audit.summary())
+        return "\n".join(lines)
+
+
+class ScenarioRuntime:
+    """Executes one :class:`ScenarioSpec` against a live control plane.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run.
+    audit:
+        Attach an :class:`InvariantAuditor` and audit every round.
+    strict:
+        Raise on the first violation instead of accumulating (implies
+        ``audit``).
+    """
+
+    def __init__(
+        self, spec: ScenarioSpec, audit: bool = True, strict: bool = False
+    ) -> None:
+        self.spec = spec
+        self.rng = RngStream(spec.seed, label=f"scenario/{spec.name}")
+        self.session = self._build_session(spec)
+        self.sim = Simulator()
+        self.auditor = (
+            InvariantAuditor(strict=strict) if (audit or strict) else None
+        )
+        self.rps = {site.index: RPAgent(site) for site in self.session.sites}
+        self.server = MembershipServer(
+            session=self.session,
+            builder=make_builder(spec.algorithm),
+            latency_bound_ms=spec.latency_bound_ms,
+        )
+        self.active: set[int] = set()
+        self.report = ScenarioReport(
+            name=spec.name,
+            seed=spec.seed,
+            n_sites=spec.n_sites,
+            duration_ms=spec.duration_ms,
+        )
+        self._build_rng = self.rng.spawn("build")
+        self._workload_rng = self.rng.spawn("workload")
+        self._target_rng = self.rng.spawn("targets")
+
+    @staticmethod
+    def _build_session(spec: ScenarioSpec) -> TISession:
+        if spec.nodes == "heterogeneous":
+            capacity_model = HeterogeneousCapacityModel()
+        else:
+            capacity_model = UniformCapacityModel(
+                base=spec.capacity_base or 20,
+                jitter=spec.capacity_jitter,
+                streams_per_site=spec.streams_per_site or 20,
+            )
+        return build_session(
+            load_backbone(spec.backbone),
+            capacity_model,
+            RngStream(spec.seed, label="scenario-session").spawn("session"),
+            SessionConfig(
+                n_sites=spec.n_sites,
+                displays_per_site=spec.displays_per_site,
+            ),
+        )
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self) -> ScenarioReport:
+        """Replay the compiled schedule; returns the final report."""
+        self.active.update(range(self.spec.initial_active))
+        for site in sorted(self.active):
+            self._subscribe_displays(site)
+        self._control_round("bootstrap")
+        for event in self.spec.compile(self.rng.spawn("schedule")):
+            self.sim.schedule_at(
+                event.time_ms, lambda event=event: self._execute(event)
+            )
+        self.sim.run(until_ms=self.spec.duration_ms)
+        self.report.final_active = len(self.active)
+        if self.auditor is not None:
+            self.report.audit = self.auditor.report()
+        return self.report
+
+    # -- event execution ----------------------------------------------------------
+
+    def _execute(self, event: ScenarioEvent) -> None:
+        """Apply one scheduled event, then re-solve the overlay."""
+        kind = event.kind
+        if kind is EventKind.JOIN:
+            candidates = sorted(set(range(self.spec.n_sites)) - self.active)
+        else:
+            candidates = sorted(self.active)
+        if not candidates:
+            self.report.skipped_events += 1
+            return
+        site = self._target_rng.choice(candidates)
+        if kind is EventKind.JOIN:
+            self._activate(site)
+        elif kind is EventKind.LEAVE:
+            self._deactivate(site, graceful=True)
+        elif kind is EventKind.FAIL:
+            self._deactivate(site, graceful=False)
+        elif kind is EventKind.FOV_CHANGE:
+            self._subscribe_displays(site)
+        self.report.events[kind.value] = self.report.events.get(kind.value, 0) + 1
+        self._control_round(f"{kind.value}:{site}")
+
+    def _activate(self, site: int) -> None:
+        self.active.add(site)
+        self._subscribe_displays(site)
+
+    def _deactivate(self, site: int, graceful: bool) -> None:
+        """Remove a site; a graceful leave also clears its local RP state.
+
+        An abrupt failure leaves the RP's display subscriptions and stale
+        forwarding table in place — only the server forgets the site, as
+        it would after missing heartbeats.
+        """
+        self.active.discard(site)
+        self.server.withdraw_site(site)
+        if graceful:
+            rp = self.rps[site]
+            for display in rp.site.displays:
+                rp.clear_display_subscription(display.display_id)
+
+    def _subscribe_displays(self, site: int) -> None:
+        """(Re-)draw every display subscription of ``site``.
+
+        Each display samples ``fov_size`` distinct streams uniformly from
+        the streams published by *other active* sites — the explicit
+        stream-subset subscription form of Sec. 3.2.
+        """
+        rp = self.rps[site]
+        remote = [
+            stream_id
+            for other in sorted(self.active)
+            if other != site
+            for stream_id in self.session.site(other).stream_ids
+        ]
+        for display in rp.site.displays:
+            if not remote:
+                rp.clear_display_subscription(display.display_id)
+                continue
+            k = min(self.spec.fov_size, len(remote))
+            streams = tuple(sorted(self._workload_rng.sample(remote, k)))
+            rp.submit_display_subscription(
+                DisplaySubscription(
+                    display_id=display.display_id, site=site, streams=streams
+                )
+            )
+
+    def _control_round(self, label: str) -> None:
+        """Advertise, aggregate, build, install — then audit."""
+        for site in sorted(self.active):
+            rp = self.rps[site]
+            self.server.register_advertisement(rp.advertisement())
+            self.server.register_subscription(rp.aggregate_subscription())
+        directive = self.server.build_overlay(
+            self._build_rng.spawn(f"round-{self.server.epoch}")
+        )
+        for site in sorted(self.active):
+            self.rps[site].apply_directive(directive)
+        result = self.server.last_result
+        assert result is not None
+        self.report.rounds += 1
+        self.report.requests_total += result.total_requests
+        self.report.rejected_total += len(result.rejected)
+        if self.auditor is not None:
+            self.auditor.audit_round(
+                result,
+                directive,
+                self.rps,
+                self.active,
+                event=label,
+                time_ms=self.sim.now,
+            )
+
+
+def run_scenario(
+    spec: ScenarioSpec, audit: bool = True, strict: bool = False
+) -> ScenarioReport:
+    """Convenience wrapper: build a runtime, run it, return the report."""
+    return ScenarioRuntime(spec, audit=audit, strict=strict).run()

@@ -1,0 +1,175 @@
+"""Declarative stress-scenario specifications.
+
+A :class:`ScenarioSpec` describes one adversarial session shape — how
+many sites exist, which capacity distribution they draw from, and a
+schedule of churn (joins, leaves, failures) and FOV-change phases — plus
+the seed that makes the whole run reproducible.  Specs are pure data:
+:meth:`ScenarioSpec.compile` expands the schedule into timed
+:class:`ScenarioEvent` objects for the deterministic
+:class:`~repro.sim.engine.Simulator`; the
+:class:`~repro.scenarios.runtime.ScenarioRuntime` executes them against
+a live control plane.
+
+Events carry a *kind*, not a target site: the runtime picks the target
+from the membership state at execution time (a leave must hit an active
+site, a join an inactive one), using the same seeded RNG, which keeps
+runs bit-for-bit reproducible while letting one spec scale to any site
+count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+class EventKind(enum.Enum):
+    """What one scheduled control-plane event does."""
+
+    #: An inactive (never-joined or previously departed/failed) site
+    #: joins the session and subscribes its displays.
+    JOIN = "join"
+    #: An active site leaves gracefully (clears its subscriptions first).
+    LEAVE = "leave"
+    #: An active site fails abruptly (state withdrawn server-side only).
+    FAIL = "fail"
+    #: An active site's displays re-draw their FOV stream sets.
+    FOV_CHANGE = "fov-change"
+
+
+@dataclass(frozen=True)
+class SchedulePhase:
+    """``count`` events of one kind spread across ``[start_ms, end_ms]``."""
+
+    kind: EventKind
+    start_ms: float
+    end_ms: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError(f"phase count must be >= 0, got {self.count}")
+        if self.start_ms < 0:
+            raise ConfigurationError(
+                f"phase start must be >= 0, got {self.start_ms}"
+            )
+        if self.end_ms < self.start_ms:
+            raise ConfigurationError(
+                f"phase end {self.end_ms} precedes start {self.start_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One compiled, timed control-plane event."""
+
+    time_ms: float
+    kind: EventKind
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One reproducible stress scenario.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier (used in reports and RNG labels).
+    n_sites:
+        Size of the site pool; joins can only activate pool members.
+    initial_active:
+        Sites active (subscribed) when the run starts.
+    duration_ms:
+        Simulated wall clock; events beyond it are clamped to it.
+    seed:
+        Root seed; every draw of the run derives from it.
+    schedule:
+        Churn and FOV phases to compile into timed events.
+    algorithm:
+        Overlay builder name (see :func:`repro.core.registry.make_builder`).
+    nodes:
+        Capacity family, ``uniform`` or ``heterogeneous``.
+    capacity_base / capacity_jitter / streams_per_site:
+        Overrides of the uniform capacity model — the capacity-starvation
+        scenario shrinks these far below the paper's defaults.
+    """
+
+    name: str
+    n_sites: int
+    initial_active: int
+    duration_ms: float
+    seed: int
+    schedule: tuple[SchedulePhase, ...] = field(default_factory=tuple)
+    algorithm: str = "rj"
+    nodes: str = "uniform"
+    backbone: str = "tier1"
+    latency_bound_ms: float = 120.0
+    displays_per_site: int = 2
+    fov_size: int = 4
+    capacity_base: int | None = None
+    capacity_jitter: int = 5
+    streams_per_site: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ConfigurationError(f"n_sites must be >= 1, got {self.n_sites}")
+        if not 0 <= self.initial_active <= self.n_sites:
+            raise ConfigurationError(
+                f"initial_active must be in [0, {self.n_sites}], "
+                f"got {self.initial_active}"
+            )
+        if self.duration_ms <= 0:
+            raise ConfigurationError(
+                f"duration_ms must be positive, got {self.duration_ms}"
+            )
+        if self.nodes not in ("uniform", "heterogeneous"):
+            raise ConfigurationError(
+                f"nodes must be 'uniform' or 'heterogeneous', got {self.nodes!r}"
+            )
+        if self.fov_size < 1:
+            raise ConfigurationError(f"fov_size must be >= 1, got {self.fov_size}")
+        if self.capacity_base is not None and self.capacity_base < 1:
+            raise ConfigurationError(
+                f"capacity_base must be >= 1, got {self.capacity_base}"
+            )
+
+    def compile(self, rng: RngStream) -> list[ScenarioEvent]:
+        """Expand the schedule into timed events, sorted by time.
+
+        Each phase spreads its ``count`` events evenly across its window
+        with per-event jitter drawn from ``rng``, so two compilations
+        with equal seeds agree exactly.  Times are clamped to the run's
+        duration.
+        """
+        events: list[ScenarioEvent] = []
+        for phase_index, phase in enumerate(self.schedule):
+            phase_rng = rng.spawn(f"phase-{phase_index}")
+            window = phase.end_ms - phase.start_ms
+            for index in range(phase.count):
+                if phase.count == 1:
+                    offset = window * phase_rng.random()
+                else:
+                    slot = window / phase.count
+                    offset = slot * index + slot * phase_rng.random()
+                time_ms = min(phase.start_ms + offset, self.duration_ms)
+                events.append(ScenarioEvent(time_ms=time_ms, kind=phase.kind))
+        events.sort(key=lambda event: (event.time_ms, event.kind.value))
+        return events
+
+    def total_events(self) -> int:
+        """Scheduled event count (excluding the bootstrap round)."""
+        return sum(phase.count for phase in self.schedule)
+
+    def describe(self) -> str:
+        """One line for ``scenario list`` output."""
+        kinds: dict[str, int] = {}
+        for phase in self.schedule:
+            kinds[phase.kind.value] = kinds.get(phase.kind.value, 0) + phase.count
+        mix = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return (
+            f"{self.name}: pool={self.n_sites} start={self.initial_active} "
+            f"{self.duration_ms:.0f}ms [{mix or 'static'}] alg={self.algorithm}"
+        )

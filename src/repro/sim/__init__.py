@@ -10,6 +10,7 @@ from repro.sim.engine import Simulator
 from repro.sim.network import LatencyNetwork
 from repro.sim.dataplane import DataPlaneReport, ForestDataPlane
 from repro.sim.churn import RebuildReport, rebuild_after_leave
+from repro.sim.invariants import AuditReport, InvariantAuditor, Violation
 
 __all__ = [
     "Simulator",
@@ -18,4 +19,7 @@ __all__ = [
     "ForestDataPlane",
     "RebuildReport",
     "rebuild_after_leave",
+    "AuditReport",
+    "InvariantAuditor",
+    "Violation",
 ]

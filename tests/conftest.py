@@ -1,4 +1,9 @@
-"""Shared fixtures: deterministic RNGs, small sessions and problems."""
+"""Shared fixtures: deterministic RNGs, small sessions and problems.
+
+Also hosts the ``--runslow`` gate: tests marked ``slow`` or ``stress``
+are skipped by default so the tier-1 loop stays fast; ``pytest
+--runslow`` (as ``scripts/ci.sh`` does for the full run) enables them.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +15,26 @@ from repro.session.session import SessionConfig, build_session
 from repro.topology.backbone import load_backbone
 from repro.util.rng import RngStream
 from repro.workload.coverage import CoverageWorkloadModel
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow or stress",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if config.getoption("--runslow"):
+        return
+    gate = pytest.mark.skip(reason="slow/stress test; enable with --runslow")
+    for item in items:
+        if "slow" in item.keywords or "stress" in item.keywords:
+            item.add_marker(gate)
 
 
 @pytest.fixture

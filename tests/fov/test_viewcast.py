@@ -54,3 +54,52 @@ class TestSelect:
             ViewCastSelector(camera_poses={}, max_streams=0)
         with pytest.raises(SubscriptionError):
             ViewCastSelector(camera_poses={}, min_score=-0.1)
+
+
+class TestSelectionOrderAndFloors:
+    def test_best_contributor_first(self):
+        """Selection preserves the contribution ranking."""
+        from repro.fov.contribution import contribution_score
+
+        selector = make_selector(max_streams=4)
+        selected = selector.select(frontal_fov())
+        scores = [
+            contribution_score(frontal_fov(), selector.camera_poses[s])
+            for s in selected
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_score_floor_shrinks_selection(self):
+        poses = {StreamId(0, q): pose for q, pose in enumerate(camera_ring(8))}
+        permissive = ViewCastSelector(camera_poses=poses, max_streams=8)
+        strict = ViewCastSelector(
+            camera_poses=poses, max_streams=8, min_score=0.9
+        )
+        assert len(strict.select(frontal_fov())) <= len(
+            permissive.select(frontal_fov())
+        )
+
+    def test_budget_above_pool_returns_contributors_only(self):
+        selector = make_selector(max_streams=50)
+        selected = selector.select(frontal_fov())
+        assert 0 < len(selected) < 8  # rear cameras never contribute
+
+    def test_deterministic(self):
+        assert make_selector().select(frontal_fov()) == make_selector().select(
+            frontal_fov()
+        )
+
+    def test_empty_candidates_selects_nothing(self):
+        assert make_selector().select(frontal_fov(), candidates=[]) == []
+
+    def test_multi_site_catalogue_restricted_by_candidates(self):
+        poses = {
+            StreamId(site, q): pose
+            for site in (0, 1)
+            for q, pose in enumerate(camera_ring(4))
+        }
+        selector = ViewCastSelector(camera_poses=poses, max_streams=8)
+        only_site_1 = [s for s in poses if s.site == 1]
+        selected = selector.select(frontal_fov(), candidates=only_site_1)
+        assert selected
+        assert all(stream.site == 1 for stream in selected)

@@ -1,0 +1,78 @@
+"""Property tests: every named scenario, audited, at several scales.
+
+These are the regression net for later scaling PRs: any change to the
+builders, the pub-sub layer or the session machinery that breaks a
+structural invariant under churn fails here, with a seed to replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.registry import available_algorithms
+from repro.scenarios.library import get_scenario, scenario_names
+from repro.scenarios.runtime import run_scenario
+
+SIZES = (3, 5, 8)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+@pytest.mark.parametrize("sites", SIZES)
+class TestZeroViolations:
+    def test_audited_run_is_clean(self, name, sites):
+        report = run_scenario(get_scenario(name, sites=sites, seed=13))
+        assert report.audit is not None
+        assert report.audit.ok, report.summary()
+        assert report.rounds >= 1
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestSeedMatrixDeterminism:
+    def test_same_seed_identical_digest(self, name):
+        """Same spec + seed ⇒ bit-for-bit identical audit digest."""
+        spec = get_scenario(name, sites=6, seed=21)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.audit.digest == second.audit.digest
+        assert first.rounds == second.rounds
+        assert first.events == second.events
+        assert first.requests_total == second.requests_total
+
+    def test_different_seed_diverges(self, name):
+        """Different seeds produce observably different runs."""
+        first = run_scenario(get_scenario(name, sites=6, seed=1))
+        second = run_scenario(get_scenario(name, sites=6, seed=2))
+        assert first.audit.digest != second.audit.digest
+
+
+class TestAlgorithmMatrix:
+    @pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+    def test_every_builder_survives_starvation(self, algorithm):
+        """All six builders keep every invariant under capacity starvation."""
+        spec = replace(
+            get_scenario("capacity-starvation", sites=5, seed=9),
+            algorithm=algorithm,
+        )
+        report = run_scenario(spec)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.stress
+class TestStressMatrix:
+    """Larger pools and more seeds; enabled with ``--runslow``."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_large_pool_clean(self, name, seed):
+        report = run_scenario(get_scenario(name, sites=12, seed=seed))
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+    def test_mixed_churn_all_builders(self, algorithm):
+        spec = replace(
+            get_scenario("mixed-churn", sites=10, seed=4), algorithm=algorithm
+        )
+        report = run_scenario(spec)
+        assert report.ok, report.summary()

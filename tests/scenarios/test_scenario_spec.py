@@ -1,0 +1,121 @@
+"""Tests for the declarative scenario specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.library import get_scenario, scenario_names
+from repro.scenarios.spec import EventKind, SchedulePhase, ScenarioSpec
+from repro.util.rng import RngStream
+
+
+def minimal_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        name="t",
+        n_sites=4,
+        initial_active=2,
+        duration_ms=100.0,
+        seed=1,
+        schedule=(SchedulePhase(EventKind.JOIN, 0.0, 50.0, 3),),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestValidation:
+    def test_valid_spec_accepted(self):
+        spec = minimal_spec()
+        assert spec.total_events() == 3
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_sites": 0},
+            {"initial_active": 5},
+            {"initial_active": -1},
+            {"duration_ms": 0.0},
+            {"nodes": "exotic"},
+            {"fov_size": 0},
+            {"capacity_base": 0},
+        ],
+    )
+    def test_bad_field_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            minimal_spec(**overrides)
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SchedulePhase(EventKind.JOIN, 10.0, 5.0, 1)
+        with pytest.raises(ConfigurationError):
+            SchedulePhase(EventKind.JOIN, -1.0, 5.0, 1)
+        with pytest.raises(ConfigurationError):
+            SchedulePhase(EventKind.JOIN, 0.0, 5.0, -1)
+
+
+class TestCompile:
+    def test_event_count_and_kinds(self):
+        spec = minimal_spec(
+            schedule=(
+                SchedulePhase(EventKind.JOIN, 0.0, 50.0, 3),
+                SchedulePhase(EventKind.LEAVE, 20.0, 80.0, 2),
+            )
+        )
+        events = spec.compile(RngStream(5))
+        assert len(events) == 5
+        kinds = [event.kind for event in events]
+        assert kinds.count(EventKind.JOIN) == 3
+        assert kinds.count(EventKind.LEAVE) == 2
+
+    def test_sorted_by_time(self):
+        events = minimal_spec().compile(RngStream(5))
+        times = [event.time_ms for event in events]
+        assert times == sorted(times)
+
+    def test_within_phase_window_and_duration(self):
+        spec = minimal_spec(
+            duration_ms=40.0,
+            schedule=(SchedulePhase(EventKind.FOV_CHANGE, 10.0, 90.0, 8),),
+        )
+        for event in spec.compile(RngStream(5)):
+            assert 10.0 <= event.time_ms <= 40.0
+
+    def test_deterministic_given_seed(self):
+        spec = minimal_spec()
+        assert spec.compile(RngStream(5)) == spec.compile(RngStream(5))
+
+    def test_different_seed_differs(self):
+        spec = minimal_spec(
+            schedule=(SchedulePhase(EventKind.JOIN, 0.0, 100.0, 10),)
+        )
+        assert spec.compile(RngStream(5)) != spec.compile(RngStream(6))
+
+    def test_empty_schedule_compiles_empty(self):
+        assert minimal_spec(schedule=()).compile(RngStream(5)) == []
+
+
+class TestLibrary:
+    def test_six_named_scenarios(self):
+        names = scenario_names()
+        assert len(names) == 6
+        assert names == sorted(names)
+
+    def test_all_factories_scale(self):
+        for name in scenario_names():
+            for sites in (2, 8, 16):
+                spec = get_scenario(name, sites=sites, seed=3)
+                assert spec.n_sites == sites
+                assert spec.seed == 3
+                assert spec.initial_active <= sites
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("tsunami")
+
+    def test_lookup_case_insensitive(self):
+        assert get_scenario("FLASH-CROWD").name == "flash-crowd"
+
+    def test_describe_mentions_mix(self):
+        description = get_scenario("mixed-churn", sites=8, seed=1).describe()
+        assert "mixed-churn" in description
+        assert "join" in description

@@ -71,3 +71,57 @@ class TestRebuild:
             rejection_ratio_after=0.0,
         )
         assert report.disruption_ratio == 0.0
+
+    def test_deterministic_given_seed(self, small_session, workload):
+        from repro.util.rng import RngStream
+
+        runs = [
+            rebuild_after_leave(
+                small_session, workload, 1, RandomJoinBuilder(),
+                RngStream(77), 200.0,
+            )[0]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_rejection_ratios_bounded(self, small_session, workload, rng):
+        report, _, _ = rebuild_after_leave(
+            small_session, workload, 3, RandomJoinBuilder(), rng, 200.0
+        )
+        assert 0.0 <= report.rejection_ratio_before <= 1.0
+        assert 0.0 <= report.rejection_ratio_after <= 1.0
+
+    def test_departed_site_relays_nothing_after(self, small_session, workload, rng):
+        _, _, after = rebuild_after_leave(
+            small_session, workload, 2, RandomJoinBuilder(), rng, 200.0
+        )
+        assert after.forest.out_degree(2) == 0
+        assert after.forest.in_degree(2) == 0
+
+    def test_rebuilt_overlay_passes_audit(self, small_session, workload, rng):
+        from repro.sim.invariants import InvariantAuditor
+
+        _, before, after = rebuild_after_leave(
+            small_session, workload, 1, RandomJoinBuilder(), rng, 200.0
+        )
+        auditor = InvariantAuditor()
+        assert auditor.audit_build(before, event="before") == []
+        assert auditor.audit_build(after, event="after") == []
+
+
+class TestProblemDerivation:
+    def test_cost_matrix_and_bound_preserved(self, small_session, workload):
+        problem = ForestProblem.from_workload(small_session, workload, 200.0)
+        reduced = problem_without_site(problem, 1)
+        assert reduced.latency_bound_ms == problem.latency_bound_ms
+        assert reduced.n_nodes == problem.n_nodes
+        for a in range(problem.n_nodes):
+            for b in range(problem.n_nodes):
+                assert reduced.edge_cost(a, b) == problem.edge_cost(a, b)
+
+    def test_other_degree_bounds_untouched(self, small_session, workload):
+        problem = ForestProblem.from_workload(small_session, workload, 200.0)
+        reduced = problem_without_site(problem, 0)
+        for node in range(1, problem.n_nodes):
+            assert reduced.inbound_limit(node) == problem.inbound_limit(node)
+            assert reduced.outbound_limit(node) == problem.outbound_limit(node)

@@ -50,3 +50,75 @@ class TestParser:
     def test_backbone_option(self):
         args = build_parser().parse_args(["fig9", "--backbone", "abilene"])
         assert args.backbone == "abilene"
+
+    def test_audit_flag_on_figures(self):
+        args = build_parser().parse_args(["fig8", "--audit"])
+        assert args.audit
+        args = build_parser().parse_args(["fig8"])
+        assert not args.audit
+
+
+class TestScenarioParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["scenario", "run", "flash-crowd"])
+        assert args.command == "scenario"
+        assert args.scenario_command == "run"
+        assert args.name == "flash-crowd"
+        assert args.sites == 8
+        assert args.seed == 7
+        assert args.audit
+        assert not args.strict
+        assert args.algorithm is None
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "mixed-churn", "--sites", "12", "--seed", "3",
+             "--algorithm", "co-rj", "--audit", "--strict"]
+        )
+        assert args.sites == 12
+        assert args.seed == 3
+        assert args.algorithm == "co-rj"
+        assert args.audit
+        assert args.strict
+
+    def test_no_audit(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "fov-thrash", "--no-audit"]
+        )
+        assert not args.audit
+
+    def test_audit_and_no_audit_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "run", "fov-thrash", "--audit", "--no-audit"]
+            )
+
+    def test_list(self):
+        args = build_parser().parse_args(["scenario", "list"])
+        assert args.scenario_command == "list"
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+
+class TestScenarioCommands:
+    def test_list_prints_all(self, capsys):
+        from repro.cli import main
+        from repro.scenarios import scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_small_scenario_clean(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["scenario", "run", "flash-crowd", "--sites", "4", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 violations" in out
+        assert "digest" in out

@@ -67,3 +67,39 @@ class TestErrors:
     def test_unknown_strategy(self, tier1_topology, rng):
         with pytest.raises(ConfigurationError, match="strategy"):
             place_sites(tier1_topology, 3, rng=rng, strategy="magnetic")
+
+
+class TestEdgeCases:
+    def test_full_coverage_uses_every_pop(self, tier1_topology):
+        n = len(tier1_topology)
+        placed = place_sites(tier1_topology, n, rng=RngStream(9))
+        assert sorted(placed) == sorted(tier1_topology.pop_ids)
+
+    def test_single_site(self, tier1_topology, rng):
+        placed = place_sites(tier1_topology, 1, rng=rng)
+        assert len(placed) == 1
+        assert placed[0] in tier1_topology.pop_ids
+
+    def test_spread_deterministic_given_seed(self, tier1_topology):
+        a = place_sites(tier1_topology, 5, rng=RngStream(4), strategy="spread")
+        b = place_sites(tier1_topology, 5, rng=RngStream(4), strategy="spread")
+        assert a == b
+
+    def test_spread_full_coverage(self, tier1_topology):
+        n = len(tier1_topology)
+        placed = place_sites(
+            tier1_topology, n, rng=RngStream(2), strategy="spread"
+        )
+        assert sorted(placed) == sorted(tier1_topology.pop_ids)
+
+    def test_spread_all_pops_valid(self, abilene_topology):
+        placed = place_sites(abilene_topology, 4, rng=None, strategy="spread")
+        assert all(pop in abilene_topology.pop_ids for pop in placed)
+
+    def test_random_and_spread_work_on_abilene(self, abilene_topology):
+        random_placed = place_sites(abilene_topology, 3, rng=RngStream(8))
+        spread_placed = place_sites(
+            abilene_topology, 3, rng=RngStream(8), strategy="spread"
+        )
+        assert len(set(random_placed)) == 3
+        assert len(set(spread_placed)) == 3
