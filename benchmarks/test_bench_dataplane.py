@@ -1,0 +1,71 @@
+"""Data-plane benchmark: analytic fast plane vs event-driven simulator.
+
+Benchmarks both planes over the same forest and records the speedup in
+``extra_info`` — the pytest-benchmark twin of ``tele3d perf sweep``'s
+dissemination column (the sweep is the tracked baseline; this keeps the
+comparison inside the figure-benchmark suite too).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import ForestProblem
+from repro.core.registry import make_builder
+from repro.perf.sweep import (
+    DEFAULT_MEAN_SUBSCRIBERS,
+    DEFAULT_STREAMS_PER_SITE,
+    _sweep_session,
+)
+from repro.sim.dataplane import FastDataPlane, ForestDataPlane
+from repro.util.rng import RngStream
+from repro.workload.coverage import CoverageWorkloadModel
+
+from conftest import emit
+
+N_SITES = 32
+DURATION_MS = 1000.0
+
+
+@pytest.fixture(scope="module")
+def built(bench_seed):
+    session = _sweep_session(N_SITES, bench_seed, DEFAULT_STREAMS_PER_SITE)
+    rng = RngStream(bench_seed, label=f"bench-dataplane/N{N_SITES}")
+    workload = CoverageWorkloadModel(
+        mean_subscribers=DEFAULT_MEAN_SUBSCRIBERS, guarantee_coverage=False
+    ).generate(session, rng.spawn("workload"))
+    problem = ForestProblem.from_workload(session, workload, 120.0)
+    result = make_builder("rj").build(problem, rng.spawn("build"))
+    return session, result.forest, rng
+
+
+def test_fast_plane(benchmark, built):
+    session, forest, rng = built
+    report = benchmark(
+        lambda: FastDataPlane(session, forest, rng.spawn("dp")).run(DURATION_MS)
+    )
+    emit(
+        "fast plane",
+        f"{report.frames_delivered} deliveries, "
+        f"mean {report.mean_latency_ms:.1f}ms",
+    )
+    benchmark.extra_info["plane"] = "fast"
+    benchmark.extra_info["frames_delivered"] = report.frames_delivered
+
+
+def test_event_plane(benchmark, built):
+    session, forest, rng = built
+    report = benchmark.pedantic(
+        lambda: ForestDataPlane(session, forest, rng.spawn("dp")).run(
+            DURATION_MS
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        "event plane",
+        f"{report.frames_delivered} deliveries, "
+        f"mean {report.mean_latency_ms:.1f}ms",
+    )
+    benchmark.extra_info["plane"] = "event"
+    benchmark.extra_info["frames_delivered"] = report.frames_delivered

@@ -16,7 +16,7 @@ from repro import make_builder, quick_session
 from repro.fov.geometry import Vec3
 from repro.fov.viewpoint import FieldOfView
 from repro.pubsub.system import PubSubSystem
-from repro.sim.dataplane import ForestDataPlane
+from repro.sim.dataplane import make_dataplane
 from repro.util import RngStream
 
 LATENCY_BOUND_MS = 120.0  # one-way interactivity bound
@@ -75,7 +75,7 @@ def main() -> None:
         print(f"  H{site_index} receives {fraction:.0%} of its subscription")
 
     # Stream 2 seconds of synthetic 3D frames over the forest.
-    plane = ForestDataPlane(
+    plane = make_dataplane(
         session,
         result.forest,
         rng.spawn("dataplane"),

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Record the repo's tracked performance baseline.
+#
+#   scripts/bench.sh [LABEL]       perf sweep -> BENCH_<LABEL>.json (default PR2)
+#                                  plus the pytest-benchmark figure suite
+#
+# Compare two baselines with:  python -m repro.cli perf compare OLD NEW
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+LABEL="${1:-PR2}"
+
+echo "== perf sweep (build / dissemination / scenario rounds) =="
+python -m repro.cli perf sweep --label "$LABEL" --output "BENCH_${LABEL}.json"
+
+echo
+echo "== pytest-benchmark figure suite =="
+python -m pytest benchmarks -q --benchmark-only \
+    --benchmark-json "BENCH_${LABEL}_figures.json" || exit 1
+
+echo
+echo "bench.sh: wrote BENCH_${LABEL}.json and BENCH_${LABEL}_figures.json"

@@ -23,5 +23,11 @@ echo
 echo "== audited scenario smoke check =="
 python -m repro.cli scenario run flash-crowd --sites 6 --seed 7 --audit --strict
 
+if [[ "${1:-}" == "--full" ]]; then
+    echo
+    echo "== perf smoke (fast plane must beat the event-driven plane) =="
+    python -m repro.cli perf smoke --sites 12
+fi
+
 echo
 echo "ci.sh: all checks passed"

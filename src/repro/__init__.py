@@ -93,7 +93,13 @@ from repro.scenarios import (
     run_scenario,
     scenario_names,
 )
-from repro.sim import AuditReport, InvariantAuditor
+from repro.sim import (
+    AuditReport,
+    FastDataPlane,
+    ForestDataPlane,
+    InvariantAuditor,
+    make_dataplane,
+)
 from repro.topology import Topology, load_backbone, place_sites
 from repro.workload import (
     SubscriptionWorkload,
@@ -155,6 +161,9 @@ __all__ = [
     # scenarios / auditing
     "AuditReport",
     "InvariantAuditor",
+    "FastDataPlane",
+    "ForestDataPlane",
+    "make_dataplane",
     "ScenarioReport",
     "ScenarioSpec",
     "get_scenario",

@@ -12,7 +12,13 @@ Regenerates the paper's figures as ASCII tables and terminal plots, e.g.::
 and runs audited stress scenarios against the control plane::
 
     tele3d scenario list
-    tele3d scenario run flash-crowd --sites 8 --audit
+    tele3d scenario run flash-crowd --sites 8 --audit --dataplane
+
+and the tracked performance baseline::
+
+    tele3d perf sweep --sizes 16,32,64,128,256 --label PR2
+    tele3d perf compare BENCH_PR2.json BENCH_PR3.json
+    tele3d perf smoke
 
 Any figure command accepts ``--audit`` to re-derive every structural
 invariant of every constructed overlay (fails loudly on violation).
@@ -103,7 +109,45 @@ def build_parser() -> argparse.ArgumentParser:
                              help="skip invariant auditing")
     scen_run.add_argument("--strict", action="store_true",
                           help="abort on the first invariant violation")
+    scen_run.add_argument("--dataplane", action="store_true",
+                          help="measure frame dissemination (fast plane) "
+                               "after every control round")
     scen_sub.add_parser("list", help="list the named scenarios")
+
+    pperf = sub.add_parser(
+        "perf", help="performance sweeps and tracked baselines"
+    )
+    perf_sub = pperf.add_subparsers(dest="perf_command", required=True)
+    perf_sweep = perf_sub.add_parser(
+        "sweep", help="time build/dissemination/scenario rounds across N"
+    )
+    perf_sweep.add_argument("--sizes", default="16,32,64,128,256",
+                            help="comma-separated site counts")
+    perf_sweep.add_argument("--seed", type=int, default=42, help="root RNG seed")
+    perf_sweep.add_argument("--duration-ms", type=float, default=1000.0,
+                            help="data-plane capture span per run")
+    perf_sweep.add_argument("--repeats", type=int, default=3,
+                            help="timed repeats (best-of) for build/fast plane")
+    perf_sweep.add_argument("--label", default="PR2",
+                            help="baseline label (file: BENCH_<label>.json)")
+    perf_sweep.add_argument("--output", default=None,
+                            help="write BENCH json here (default "
+                                 "BENCH_<label>.json; '-' to skip)")
+    perf_sweep.add_argument("--no-event-plane", action="store_true",
+                            help="skip the event-driven baseline timing")
+    perf_sweep.add_argument("--no-scenario", action="store_true",
+                            help="skip the scenario-round timing")
+    perf_compare = perf_sub.add_parser(
+        "compare", help="diff two BENCH_*.json baselines"
+    )
+    perf_compare.add_argument("old", help="previous BENCH_*.json")
+    perf_compare.add_argument("new", help="new BENCH_*.json")
+    perf_smoke = perf_sub.add_parser(
+        "smoke", help="assert the fast plane outruns the event-driven plane"
+    )
+    perf_smoke.add_argument("--sites", type=int, default=12,
+                            help="session size for the smoke check")
+    perf_smoke.add_argument("--seed", type=int, default=42, help="root RNG seed")
     return parser
 
 
@@ -193,7 +237,7 @@ def cmd_demo(args: argparse.Namespace) -> None:
     """One end-to-end pub-sub control round plus a data-plane run."""
     from repro import make_builder, quick_session
     from repro.pubsub.system import PubSubSystem
-    from repro.sim.dataplane import ForestDataPlane
+    from repro.sim.dataplane import make_dataplane
     from repro.util.rng import RngStream
     from repro.workload.generator import WorkloadGenerator
     from repro.workload.uniform import UniformPopularity
@@ -214,9 +258,9 @@ def cmd_demo(args: argparse.Namespace) -> None:
     print(f"directive epoch={directive.epoch}, edges={len(directive.edges)}, "
           f"rejected={len(directive.rejected)}")
     result = system.last_result
-    plane = ForestDataPlane(session, result.forest, rng.spawn("dataplane"))
+    plane = make_dataplane(session, result.forest, rng.spawn("dataplane"))
     report = plane.run(duration_ms=1000.0)
-    print(f"data plane: {report.frames_delivered} deliveries, "
+    print(f"data plane ({plane.kind}): {report.frames_delivered} deliveries, "
           f"mean latency {report.mean_latency_ms:.1f}ms, "
           f"max {report.max_latency_ms:.1f}ms, "
           f"bound violations {report.bound_violations()}")
@@ -242,9 +286,67 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     spec = get_scenario(args.name, sites=args.sites, seed=args.seed)
     if args.algorithm:
         spec = replace(spec, algorithm=args.algorithm)
-    report = run_scenario(spec, audit=args.audit, strict=args.strict)
+    report = run_scenario(
+        spec, audit=args.audit, strict=args.strict, dataplane=args.dataplane
+    )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Dispatch ``perf sweep`` / ``perf compare`` / ``perf smoke``."""
+    import json
+
+    from repro.perf import compare_reports, run_perf_case, run_perf_sweep
+
+    if args.perf_command == "sweep":
+        sizes = tuple(int(part) for part in args.sizes.split(",") if part)
+        report = run_perf_sweep(
+            sizes=sizes,
+            seed=args.seed,
+            duration_ms=args.duration_ms,
+            repeats=args.repeats,
+            label=args.label,
+            with_event_plane=not args.no_event_plane,
+            with_scenario=not args.no_scenario,
+        )
+        print(report.summary())
+        output = args.output or f"BENCH_{args.label}.json"
+        if output != "-":
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"\nwrote {output}")
+        return 0
+    if args.perf_command == "compare":
+        with open(args.old, encoding="utf-8") as handle:
+            old = json.load(handle)
+        with open(args.new, encoding="utf-8") as handle:
+            new = json.load(handle)
+        print(compare_reports(old, new))
+        return 0
+    # smoke: the CI gate — the fast plane must beat the event-driven one.
+    from repro.errors import SimulationError
+
+    try:
+        # run_perf_case raises SimulationError if the planes diverge.
+        case = run_perf_case(
+            args.sites, seed=args.seed, duration_ms=500.0, repeats=2,
+            with_scenario=False,
+        )
+    except SimulationError as error:
+        print(f"perf smoke FAILED: {error}", file=sys.stderr)
+        return 1
+    speedup = case.speedup or 0.0
+    print(
+        f"perf smoke at N={args.sites}: fast {case.fast_plane.best_ms:.2f}ms, "
+        f"event {case.event_plane.best_ms:.2f}ms, speedup {speedup:.1f}x, "
+        f"reports identical: {case.reports_identical}"
+    )
+    if speedup < 1.0:
+        print("perf smoke FAILED: fast plane slower than event plane",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -260,6 +362,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "demo": cmd_demo,
         "scorecard": cmd_scorecard,
         "scenario": cmd_scenario,
+        "perf": cmd_perf,
     }
     try:
         outcome = handlers[args.command](args)

@@ -31,6 +31,9 @@ class BuildResult:
     forest: OverlayForest
     state: BuilderState
     algorithm: str
+    _u_hat_cache: dict[int, dict[int, int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def satisfied(self) -> list[SubscriptionRequest]:
@@ -48,20 +51,30 @@ class BuildResult:
         return len(self.satisfied) + len(self.rejected)
 
     def u_hat_matrix(self) -> dict[int, dict[int, int]]:
-        """The paper's ``û_{i->j}``: rejected request counts per pair."""
-        u_hat: dict[int, dict[int, int]] = {}
-        for request, _ in self.rejected:
-            row = u_hat.setdefault(request.subscriber, {})
-            row[request.source] = row.get(request.source, 0) + 1
-        return u_hat
+        """The paper's ``û_{i->j}``: rejected request counts per pair.
+
+        Computed once per result and cached — the correlation metrics
+        probe it per (i, j) pair, which used to rescan the full rejected
+        list every call.  Code that mutates :attr:`satisfied` or
+        :attr:`rejected` after construction (CO-RJ repair sweeps,
+        incremental maintenance) must call :meth:`invalidate_caches`.
+        The returned rows are the cache itself; treat them as read-only.
+        """
+        if self._u_hat_cache is None:
+            u_hat: dict[int, dict[int, int]] = {}
+            for request, _ in self.rejected:
+                row = u_hat.setdefault(request.subscriber, {})
+                row[request.source] = row.get(request.source, 0) + 1
+            self._u_hat_cache = u_hat
+        return self._u_hat_cache
 
     def u_hat(self, subscriber: int, source: int) -> int:
         """``û_{i->j}`` for one (subscriber, source) pair."""
-        count = 0
-        for request, _ in self.rejected:
-            if request.subscriber == subscriber and request.source == source:
-                count += 1
-        return count
+        return self.u_hat_matrix().get(subscriber, {}).get(source, 0)
+
+    def invalidate_caches(self) -> None:
+        """Drop derived caches after mutating the satisfied/rejected lists."""
+        self._u_hat_cache = None
 
     def verify(self) -> None:
         """Validate structural and constraint invariants of the result.

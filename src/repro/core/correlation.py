@@ -134,6 +134,8 @@ class CorrelatedRandomJoinBuilder(RandomJoinBuilder):
             self._remove_rejection(forest, request)
             self._apply_swap(problem, state, forest, request, swap)
             progressed = True
+        if progressed:
+            result.invalidate_caches()
         return progressed
 
     @staticmethod
@@ -158,6 +160,7 @@ class CorrelatedRandomJoinBuilder(RandomJoinBuilder):
         own_q = criticality(problem, subscriber, request.source)
         target_tree = forest.tree(request.stream)
         best: _Swap | None = None
+        cost_to_subscriber = problem.costs_to(subscriber)
         for stream, tree in forest.trees.items():
             if stream.site == request.source:  # condition (1): k != j
                 continue
@@ -169,8 +172,9 @@ class CorrelatedRandomJoinBuilder(RandomJoinBuilder):
             parent = tree.parent(subscriber)
             if parent is None or parent not in target_tree:  # condition (3)
                 continue
-            new_cost = target_tree.cost_from_source(parent) + problem.edge_cost(
-                parent, subscriber
+            new_cost = (
+                target_tree.cost_from_source(parent)
+                + cost_to_subscriber[parent]
             )
             if new_cost >= problem.latency_bound_ms:  # condition (4)
                 continue

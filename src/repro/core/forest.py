@@ -59,6 +59,11 @@ class MulticastTree:
         """Children of ``node`` (empty for leaves and non-members)."""
         return list(self._children.get(node, []))
 
+    def child_count(self, node: int) -> int:
+        """Number of children of ``node`` (no list copy)."""
+        children = self._children.get(node)
+        return len(children) if children else 0
+
     def is_leaf(self, node: int) -> bool:
         """True when ``node`` is a member with no children."""
         return node in self._children and not self._children[node]
@@ -69,6 +74,16 @@ class MulticastTree:
             return self._cost_from_source[node]
         except KeyError:
             raise OverlayError(f"{node} is not in tree {self.stream}") from None
+
+    def path_costs(self) -> dict[int, float]:
+        """Source-to-node path cost for every member (shared, read-only).
+
+        Members iterate source-first in attach order — parents always
+        precede their children.  The parent-search and data-plane hot
+        paths scan this dict directly instead of calling
+        :meth:`cost_from_source` per member.
+        """
+        return self._cost_from_source
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """All (parent, child) edges."""

@@ -50,6 +50,7 @@ def add_subscription(
 
     state = result.state
     forest = result.forest
+    result.invalidate_caches()  # every path below may touch the rejected list
     state.open_group(request.stream)
     tree = forest.tree(request.stream)
     outcome = try_join(problem, state, tree, request.subscriber, policy=policy)

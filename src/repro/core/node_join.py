@@ -109,17 +109,28 @@ def _find_parent(
     subscriber: int,
     policy: ParentPolicy,
 ) -> int | None:
-    """Select a parent for ``subscriber`` under ``policy``; None if saturated."""
+    """Select a parent for ``subscriber`` under ``policy``; None if saturated.
+
+    One pass over the tree members against the precomputed dense cost
+    column of the subscriber — no per-candidate dict-of-dict hops.  The
+    degree/reservation tables are likewise read directly: this loop is
+    the innermost hot path of every overlay build.
+    """
     best: int | None = None
     best_rfc = 0  # MAX_RFC requires strictly positive rfc (paper's max <- 0)
     best_cost = float("inf")
-    for member in tree.members():
-        if not state.outbound_free(member):
+    cost_to_subscriber = problem.costs_to(subscriber)
+    path_costs = tree.path_costs()
+    bound = problem.latency_bound_ms
+    dout = state.dout
+    outbound = problem.outbound
+    m_hat = state.m_hat
+    for member, cost_from_source in path_costs.items():
+        out_limit = outbound[member]
+        if dout[member] >= out_limit:
             continue
-        path_cost = tree.cost_from_source(member) + problem.edge_cost(
-            member, subscriber
-        )
-        if path_cost >= problem.latency_bound_ms:
+        path_cost = cost_from_source + cost_to_subscriber[member]
+        if path_cost >= bound:
             continue
         if policy is ParentPolicy.FIRST_FIT:
             return member
@@ -133,7 +144,7 @@ def _find_parent(
             # dissemination of its own stream (rfc not consulted).
             best = member
             continue
-        rfc = state.rfc(member)
+        rfc = out_limit - dout[member] - m_hat[member]
         if rfc > best_rfc:
             best, best_rfc = member, rfc
     return best

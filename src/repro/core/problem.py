@@ -20,8 +20,30 @@ from typing import Mapping
 from repro.errors import ConfigurationError, SubscriptionError
 from repro.core.model import MulticastGroup, SubscriptionRequest
 from repro.session.session import TISession
+from repro.topology.dense import DenseCostMatrix
 from repro.session.streams import StreamId
 from repro.workload.spec import SubscriptionWorkload
+
+
+class _CostRow(dict):
+    """One ``cost[a]`` row that writes through to the dense matrix.
+
+    The problem's dense matrix is the authoritative store for the hot
+    paths; tests (and exploratory code) historically tweak entries via
+    ``problem.cost[a][b] = x``, so assignments propagate.
+    """
+
+    __slots__ = ("_matrix", "_row_index")
+
+    def __init__(self, data: Mapping, matrix: DenseCostMatrix, row_index: int):
+        super().__init__(data)
+        self._matrix = matrix
+        self._row_index = row_index
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        if isinstance(key, int) and 0 <= key < self._matrix.n:
+            self._matrix.set_cost(self._row_index, key, value)
 
 
 @dataclass
@@ -42,6 +64,7 @@ class ForestProblem:
             raise ConfigurationError(
                 f"latency_bound_ms must be positive, got {self.latency_bound_ms}"
             )
+        dense_rows: list[list[float]] = []
         for node in range(self.n_nodes):
             if node not in self.inbound or node not in self.outbound:
                 raise ConfigurationError(f"missing degree bounds for node {node}")
@@ -50,11 +73,23 @@ class ForestProblem:
             row = self.cost.get(node)
             if row is None:
                 raise ConfigurationError(f"missing cost row for node {node}")
+            dense_row: list[float] = []
             for other in range(self.n_nodes):
                 if other not in row:
                     raise ConfigurationError(f"missing cost entry {node}->{other}")
-                if row[other] < 0:
+                value = row[other]
+                if value < 0:
                     raise ConfigurationError(f"negative cost {node}->{other}")
+                dense_row.append(value)
+            dense_rows.append(dense_row)
+        # Contiguous form consumed by every latency probe below.  The
+        # ``cost`` rows become write-through views so in-place tweaks
+        # stay visible to the dense matrix.
+        self._dense = DenseCostMatrix(dense_rows)
+        self.cost = {
+            node: _CostRow(self.cost[node], self._dense, node)
+            for node in range(self.n_nodes)
+        }
         seen_streams: set[StreamId] = set()
         for group in self.groups:
             if group.stream in seen_streams:
@@ -107,7 +142,26 @@ class ForestProblem:
 
     def edge_cost(self, a: int, b: int) -> float:
         """Latency cost ``c(a, b)`` between two RP nodes."""
-        return self.cost[a][b]
+        return self._dense.edge_cost(a, b)
+
+    def costs_row(self, node: int) -> list[float]:
+        """Costs *from* ``node`` to every node, indexable by node id.
+
+        Returns the shared dense row — callers must not mutate it.
+        """
+        return self._dense.row(node)
+
+    def costs_to(self, node: int) -> list[float]:
+        """Costs *to* ``node`` from every node (dense column, read-only).
+
+        This is the parent-search access pattern: one bulk fetch, then
+        O(1) probes per candidate instead of two dict hops each.
+        """
+        return self._dense.column(node)
+
+    def dense_cost_matrix(self) -> DenseCostMatrix:
+        """The shared dense cost matrix (read-only)."""
+        return self._dense
 
     def inbound_limit(self, node: int) -> int:
         """``I(node)`` in stream units."""

@@ -127,7 +127,7 @@ class BuilderState:
 
     def _first_dissemination(self, tree: MulticastTree) -> bool:
         """True when the tree has exactly one source child (just added)."""
-        return len(tree.children(tree.source)) == 1
+        return tree.child_count(tree.source) == 1
 
     # -- diagnostics ---------------------------------------------------------------
 

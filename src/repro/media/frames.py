@@ -65,15 +65,33 @@ class FrameClock:
         """Average frame size implied by bandwidth and fps."""
         return max(1, int(self.bandwidth_mbps * 1e6 / 8.0 / self.fps))
 
-    def frame(self, sequence: int, capture_time_ms: float, rng: RngStream) -> Frame3D:
-        """Materialize the ``sequence``-th frame with jittered size."""
+    def sample_size_bytes(self, rng: RngStream) -> int:
+        """Draw one frame's jittered size (exactly one uniform draw).
+
+        Both data planes consume these draws — the event-driven plane
+        via :meth:`frame`, the analytic fast plane via
+        :meth:`sample_sizes` — so a shared camera RNG stream yields
+        bit-identical size sequences.
+        """
+        low = 1.0 - self.size_jitter
+        high = 1.0 + self.size_jitter
+        return max(1, int(self.mean_frame_bytes * rng.uniform(low, high)))
+
+    def sample_sizes(self, rng: RngStream, count: int) -> list[int]:
+        """Draw ``count`` frame sizes — the batch form of
+        :meth:`sample_size_bytes`, same draws in the same order, with
+        the per-frame attribute lookups hoisted out of the loop."""
         mean = self.mean_frame_bytes
         low = 1.0 - self.size_jitter
         high = 1.0 + self.size_jitter
-        size = max(1, int(mean * rng.uniform(low, high)))
+        uniform = rng.uniform
+        return [max(1, int(mean * uniform(low, high))) for _ in range(count)]
+
+    def frame(self, sequence: int, capture_time_ms: float, rng: RngStream) -> Frame3D:
+        """Materialize the ``sequence``-th frame with jittered size."""
         return Frame3D(
             stream_id=self.stream_id,
             sequence=sequence,
             capture_time_ms=capture_time_ms,
-            size_bytes=size,
+            size_bytes=self.sample_size_bytes(rng),
         )

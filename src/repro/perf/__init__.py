@@ -1,0 +1,32 @@
+"""Performance harness: timers, the tracked perf sweep, and baselines.
+
+``tele3d perf sweep`` times the overlay build, both data planes, and
+scenario control rounds across N, writing ``BENCH_<label>.json`` as the
+repo's tracked performance trajectory; ``tele3d perf compare`` diffs two
+such baselines and ``tele3d perf smoke`` is the CI gate asserting the
+fast plane actually outruns the event-driven one.
+"""
+
+from repro.perf.timing import Stopwatch, Timing, time_call
+from repro.perf.sweep import (
+    DEFAULT_SIZES,
+    PerfCase,
+    PerfReport,
+    compare_reports,
+    reports_equal,
+    run_perf_case,
+    run_perf_sweep,
+)
+
+__all__ = [
+    "Stopwatch",
+    "Timing",
+    "time_call",
+    "DEFAULT_SIZES",
+    "PerfCase",
+    "PerfReport",
+    "compare_reports",
+    "reports_equal",
+    "run_perf_case",
+    "run_perf_sweep",
+]

@@ -1,0 +1,362 @@
+"""The perf sweep: build/dissemination/scenario timings across N.
+
+This is the repo's tracked performance baseline.  ``tele3d perf sweep``
+times the three hot paths the fast-path overhaul targets —
+
+* **build** — overlay forest construction (``rj``) over one workload;
+* **dissemination** — the data plane, event-driven vs analytic fast
+  plane, on the *same* forest (the two reports are also cross-checked
+  for equality, so every sweep doubles as an equivalence test);
+* **scenario round** — one audited-off control round of a churn
+  scenario at the same site count;
+
+across N in {16..256} on deterministic ``synthetic-<n>`` backbones, and
+serializes the result as ``BENCH_<label>.json`` so successive PRs can
+diff their baselines (``tele3d perf compare OLD NEW``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.problem import ForestProblem
+from repro.core.registry import make_builder
+from repro.errors import ConfigurationError, SimulationError
+from repro.perf.timing import Stopwatch, Timing, time_call
+from repro.scenarios.spec import EventKind, SchedulePhase, ScenarioSpec
+from repro.session.capacity import UniformCapacityModel
+from repro.session.session import SessionConfig, TISession, build_session
+from repro.sim.dataplane import DataPlaneReport, FastDataPlane, ForestDataPlane
+from repro.topology.backbone import load_backbone
+from repro.util.rng import RngStream
+from repro.util.tables import Table
+from repro.workload.coverage import CoverageWorkloadModel
+
+#: The tracked sweep sizes (acceptance: 16..256).
+DEFAULT_SIZES = (16, 32, 64, 128, 256)
+
+#: Sweep workload shape: modest per-site fan-out so the event-driven
+#: plane stays runnable at N=256 while trees stay deep enough to matter.
+DEFAULT_STREAMS_PER_SITE = 4
+DEFAULT_MEAN_SUBSCRIBERS = 6.0
+DEFAULT_DURATION_MS = 1000.0
+DEFAULT_LATENCY_BOUND_MS = 120.0
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """Timings for one sweep size."""
+
+    n_sites: int
+    requests: int
+    satisfied: int
+    build: Timing
+    fast_plane: Timing
+    event_plane: Timing | None
+    scenario_round: Timing | None
+    frames_delivered: int
+    reports_identical: bool | None
+
+    @property
+    def speedup(self) -> float | None:
+        """Event-driven / fast wall-clock ratio (best-of)."""
+        if self.event_plane is None or self.fast_plane.best_s <= 0:
+            return None
+        return self.event_plane.best_s / self.fast_plane.best_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "n_sites": self.n_sites,
+            "requests": self.requests,
+            "satisfied": self.satisfied,
+            "build": self.build.to_dict(),
+            "fast_plane": self.fast_plane.to_dict(),
+            "event_plane": (
+                self.event_plane.to_dict() if self.event_plane else None
+            ),
+            "scenario_round": (
+                self.scenario_round.to_dict() if self.scenario_round else None
+            ),
+            "frames_delivered": self.frames_delivered,
+            "reports_identical": self.reports_identical,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class PerfReport:
+    """One full sweep: config + per-size cases."""
+
+    label: str
+    config: dict
+    cases: list[PerfCase] = field(default_factory=list)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize for ``BENCH_<label>.json``."""
+        return json.dumps(
+            {
+                "version": 1,
+                "label": self.label,
+                "config": self.config,
+                "cases": [case.to_dict() for case in self.cases],
+            },
+            indent=indent,
+        )
+
+    def case_for(self, n_sites: int) -> PerfCase | None:
+        """The case at one sweep size, if present."""
+        for case in self.cases:
+            if case.n_sites == n_sites:
+                return case
+        return None
+
+    def summary(self) -> str:
+        """Aligned table for CLI output."""
+        table = Table(
+            [
+                "N",
+                "requests",
+                "build ms",
+                "fast ms",
+                "event ms",
+                "speedup",
+                "scenario-round ms",
+                "identical",
+            ],
+            title=f"perf sweep [{self.label}]",
+        )
+        for case in self.cases:
+            table.add_row(
+                [
+                    case.n_sites,
+                    case.requests,
+                    f"{case.build.best_ms:.1f}",
+                    f"{case.fast_plane.best_ms:.2f}",
+                    (
+                        f"{case.event_plane.best_ms:.1f}"
+                        if case.event_plane
+                        else "-"
+                    ),
+                    f"{case.speedup:.1f}x" if case.speedup else "-",
+                    (
+                        f"{case.scenario_round.best_ms:.1f}"
+                        if case.scenario_round
+                        else "-"
+                    ),
+                    (
+                        "yes"
+                        if case.reports_identical
+                        else ("NO" if case.reports_identical is False else "-")
+                    ),
+                ]
+            )
+        return table.render()
+
+
+def reports_equal(a: DataPlaneReport, b: DataPlaneReport) -> bool:
+    """Field-exact equality of two data-plane reports (floats included)."""
+    if (
+        a.duration_ms != b.duration_ms
+        or a.frames_captured != b.frames_captured
+        or a.frames_delivered != b.frames_delivered
+        or a.latency_bound_ms != b.latency_bound_ms
+        or a.bytes_sent_by_site != b.bytes_sent_by_site
+        or set(a.deliveries) != set(b.deliveries)
+    ):
+        return False
+    for key, stats in a.deliveries.items():
+        other = b.deliveries[key]
+        if (
+            stats.frames != other.frames
+            or stats.total_latency_ms != other.total_latency_ms
+            or stats.max_latency_ms != other.max_latency_ms
+        ):
+            return False
+    return True
+
+
+def _sweep_session(n_sites: int, seed: int, streams_per_site: int) -> TISession:
+    """A deterministic N-site session on the ``synthetic-<n>`` backbone."""
+    return build_session(
+        load_backbone(f"synthetic-{n_sites}"),
+        UniformCapacityModel(streams_per_site=streams_per_site),
+        RngStream(seed, label=f"perf/N{n_sites}").spawn("session"),
+        SessionConfig(n_sites=n_sites, displays_per_site=2),
+    )
+
+
+def _scenario_spec(n_sites: int, seed: int) -> ScenarioSpec:
+    """A small churn scenario used purely for round timing."""
+    return ScenarioSpec(
+        name="perf-round",
+        n_sites=n_sites,
+        initial_active=n_sites,
+        duration_ms=400.0,
+        seed=seed,
+        schedule=(SchedulePhase(EventKind.FOV_CHANGE, 0.0, 350.0, 4),),
+        backbone=f"synthetic-{n_sites}",
+        displays_per_site=1,
+        fov_size=2,
+    )
+
+
+def run_perf_case(
+    n_sites: int,
+    seed: int = 42,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    repeats: int = 3,
+    algorithm: str = "rj",
+    streams_per_site: int = DEFAULT_STREAMS_PER_SITE,
+    mean_subscribers: float = DEFAULT_MEAN_SUBSCRIBERS,
+    with_event_plane: bool = True,
+    with_scenario: bool = True,
+) -> PerfCase:
+    """Time build + dissemination (+ one scenario round) at one size."""
+    if n_sites < 2:
+        raise ConfigurationError(f"n_sites must be >= 2, got {n_sites}")
+    session = _sweep_session(n_sites, seed, streams_per_site)
+    rng = RngStream(seed, label=f"perf/N{n_sites}")
+    workload = CoverageWorkloadModel(
+        mean_subscribers=mean_subscribers, guarantee_coverage=False
+    ).generate(session, rng.spawn("workload"))
+    problem = ForestProblem.from_workload(
+        session, workload, DEFAULT_LATENCY_BOUND_MS
+    )
+    builder = make_builder(algorithm)
+    build_timing, result = time_call(
+        lambda: builder.build(problem, rng.spawn("build")),
+        repeats=repeats,
+        label=f"build/{algorithm}/N{n_sites}",
+    )
+
+    def run_fast() -> DataPlaneReport:
+        return FastDataPlane(
+            session, result.forest, rng.spawn("dataplane")
+        ).run(duration_ms)
+
+    fast_timing, fast_report = time_call(
+        run_fast, repeats=repeats, label=f"fast-plane/N{n_sites}"
+    )
+
+    event_timing: Timing | None = None
+    identical: bool | None = None
+    if with_event_plane:
+        # The event-driven plane is the expensive baseline: one repeat.
+        event_timing, event_report = time_call(
+            lambda: ForestDataPlane(
+                session, result.forest, rng.spawn("dataplane")
+            ).run(duration_ms),
+            repeats=1,
+            label=f"event-plane/N{n_sites}",
+        )
+        identical = reports_equal(fast_report, event_report)
+        if not identical:
+            raise SimulationError(
+                f"fast/event data-plane reports diverged at N={n_sites} "
+                f"(seed {seed}) — fast plane is supposed to be bit-exact"
+            )
+
+    scenario_timing: Timing | None = None
+    if with_scenario:
+        from repro.scenarios.runtime import ScenarioRuntime
+
+        spec = _scenario_spec(n_sites, seed)
+        with Stopwatch() as stopwatch:
+            scenario_report = ScenarioRuntime(spec, audit=False).run()
+        rounds = max(1, scenario_report.rounds)
+        scenario_timing = Timing(
+            label=f"scenario-round/N{n_sites}",
+            repeats=rounds,
+            total_s=stopwatch.elapsed_s,
+            best_s=stopwatch.elapsed_s / rounds,
+        )
+
+    return PerfCase(
+        n_sites=n_sites,
+        requests=problem.total_requests(),
+        satisfied=len(result.satisfied),
+        build=build_timing,
+        fast_plane=fast_timing,
+        event_plane=event_timing,
+        scenario_round=scenario_timing,
+        frames_delivered=fast_report.frames_delivered,
+        reports_identical=identical,
+    )
+
+
+def run_perf_sweep(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    seed: int = 42,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    repeats: int = 3,
+    algorithm: str = "rj",
+    label: str = "PR2",
+    with_event_plane: bool = True,
+    with_scenario: bool = True,
+) -> PerfReport:
+    """Run the full sweep; see the module docstring for what is timed."""
+    report = PerfReport(
+        label=label,
+        config={
+            "sizes": list(sizes),
+            "seed": seed,
+            "duration_ms": duration_ms,
+            "repeats": repeats,
+            "algorithm": algorithm,
+            "streams_per_site": DEFAULT_STREAMS_PER_SITE,
+            "mean_subscribers": DEFAULT_MEAN_SUBSCRIBERS,
+            "latency_bound_ms": DEFAULT_LATENCY_BOUND_MS,
+            "backbone": "synthetic-<n>",
+        },
+    )
+    for n_sites in sizes:
+        report.cases.append(
+            run_perf_case(
+                n_sites,
+                seed=seed,
+                duration_ms=duration_ms,
+                repeats=repeats,
+                algorithm=algorithm,
+                with_event_plane=with_event_plane,
+                with_scenario=with_scenario,
+            )
+        )
+    return report
+
+
+def compare_reports(old: dict, new: dict) -> str:
+    """Render an old-vs-new ``BENCH_*.json`` comparison table.
+
+    Takes the parsed JSON dicts (not :class:`PerfReport`) so the CLI can
+    diff baselines produced by any past PR.
+    """
+    old_by_n = {case["n_sites"]: case for case in old.get("cases", [])}
+    table = Table(
+        ["N", "build old/new ms", "fast old/new ms", "ratio(fast)", "speedup old/new"],
+        title=f"perf compare {old.get('label')} -> {new.get('label')}",
+    )
+    for case in new.get("cases", []):
+        n_sites = case["n_sites"]
+        before = old_by_n.get(n_sites)
+        if before is None:
+            table.add_row([n_sites, "-", "-", "-", "-"])
+            continue
+        build_pair = (
+            f"{before['build']['best_ms']:.1f}/{case['build']['best_ms']:.1f}"
+        )
+        fast_pair = (
+            f"{before['fast_plane']['best_ms']:.2f}/"
+            f"{case['fast_plane']['best_ms']:.2f}"
+        )
+        ratio = (
+            before["fast_plane"]["best_ms"] / case["fast_plane"]["best_ms"]
+            if case["fast_plane"]["best_ms"]
+            else float("inf")
+        )
+        speedups = (
+            f"{before.get('speedup') or 0:.1f}x/{case.get('speedup') or 0:.1f}x"
+        )
+        table.add_row([n_sites, build_pair, fast_pair, f"{ratio:.2f}", speedups])
+    return table.render()

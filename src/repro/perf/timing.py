@@ -1,0 +1,103 @@
+"""Dependency-free timing primitives for the perf harness.
+
+Wall-clock timings use :func:`time.perf_counter`.  Every helper reports
+both the *best* and the *mean* of its repeats: best-of is the standard
+estimator for CPU-bound microbenchmarks (it filters scheduler noise),
+while the mean surfaces variance worth investigating.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Aggregated wall-clock measurement of one operation."""
+
+    label: str
+    repeats: int
+    total_s: float
+    best_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean seconds per repeat."""
+        return self.total_s / self.repeats if self.repeats else 0.0
+
+    @property
+    def best_ms(self) -> float:
+        """Best repeat in milliseconds."""
+        return self.best_s * 1000.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean repeat in milliseconds."""
+        return self.mean_s * 1000.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by ``BENCH_*.json``)."""
+        return {
+            "label": self.label,
+            "repeats": self.repeats,
+            "best_ms": self.best_ms,
+            "mean_ms": self.mean_ms,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.label}: best {self.best_ms:.2f}ms (x{self.repeats})"
+
+
+class Stopwatch:
+    """Context manager measuring one block::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.elapsed_ms)
+    """
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed milliseconds of the completed block."""
+        return self.elapsed_s * 1000.0
+
+
+def time_call(
+    fn: Callable[[], T], repeats: int = 3, label: str = ""
+) -> tuple[Timing, T]:
+    """Call ``fn`` ``repeats`` times; return (timing, last result).
+
+    The callable runs identically each repeat — callers must pass a
+    deterministic closure (fresh RNG streams inside, not shared state
+    that drifts between repeats).
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    total = 0.0
+    result: T = None  # type: ignore[assignment]
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        if elapsed < best:
+            best = elapsed
+    return Timing(label=label, repeats=repeats, total_s=total, best_s=best), result

@@ -23,6 +23,7 @@ from repro.pubsub.rp import RPAgent
 from repro.scenarios.spec import EventKind, ScenarioEvent, ScenarioSpec
 from repro.session.capacity import HeterogeneousCapacityModel, UniformCapacityModel
 from repro.session.session import SessionConfig, TISession, build_session
+from repro.sim.dataplane import make_dataplane
 from repro.sim.engine import Simulator
 from repro.sim.invariants import AuditReport, InvariantAuditor
 from repro.topology.backbone import load_backbone
@@ -44,6 +45,12 @@ class ScenarioReport:
     requests_total: int = 0
     rejected_total: int = 0
     audit: AuditReport | None = None
+    #: Data-plane sidecar totals (all zero unless the runtime was
+    #: created with ``dataplane=True``).
+    dataplane_frames_delivered: int = 0
+    dataplane_total_latency_ms: float = 0.0
+    dataplane_max_latency_ms: float = 0.0
+    dataplane_bound_violations: int = 0
 
     @property
     def rejection_ratio(self) -> float:
@@ -51,6 +58,13 @@ class ScenarioReport:
         if self.requests_total == 0:
             return 0.0
         return self.rejected_total / self.requests_total
+
+    @property
+    def dataplane_mean_latency_ms(self) -> float:
+        """Mean delivery latency across every measured round."""
+        if self.dataplane_frames_delivered == 0:
+            return 0.0
+        return self.dataplane_total_latency_ms / self.dataplane_frames_delivered
 
     @property
     def ok(self) -> bool:
@@ -69,6 +83,13 @@ class ScenarioReport:
             f"requests: {self.requests_total} total, {self.rejected_total} "
             f"rejected ({self.rejection_ratio:.1%})",
         ]
+        if self.dataplane_frames_delivered:
+            lines.append(
+                f"data plane: {self.dataplane_frames_delivered} deliveries, "
+                f"mean {self.dataplane_mean_latency_ms:.1f}ms, "
+                f"max {self.dataplane_max_latency_ms:.1f}ms, "
+                f"{self.dataplane_bound_violations} bound violations"
+            )
         if self.audit is not None:
             lines.append(self.audit.summary())
         return "\n".join(lines)
@@ -86,12 +107,27 @@ class ScenarioRuntime:
     strict:
         Raise on the first violation instead of accumulating (implies
         ``audit``).
+    dataplane:
+        Run the analytic fast data plane over every installed forest
+        and accumulate delivery totals in the report.  The measurement
+        is a sidecar: it never advances the scenario clock, and it uses
+        the :class:`~repro.sim.dataplane.FastDataPlane` (zero
+        jitter/loss), so thousands of audited rounds stay cheap.
+    dataplane_duration_ms:
+        Simulated capture span measured per control round.
     """
 
     def __init__(
-        self, spec: ScenarioSpec, audit: bool = True, strict: bool = False
+        self,
+        spec: ScenarioSpec,
+        audit: bool = True,
+        strict: bool = False,
+        dataplane: bool = False,
+        dataplane_duration_ms: float = 500.0,
     ) -> None:
         self.spec = spec
+        self.dataplane = dataplane
+        self.dataplane_duration_ms = dataplane_duration_ms
         self.rng = RngStream(spec.seed, label=f"scenario/{spec.name}")
         self.session = self._build_session(spec)
         self.sim = Simulator()
@@ -237,6 +273,8 @@ class ScenarioRuntime:
         self.report.rounds += 1
         self.report.requests_total += result.total_requests
         self.report.rejected_total += len(result.rejected)
+        if self.dataplane:
+            self._measure_dataplane(result)
         if self.auditor is not None:
             self.auditor.audit_round(
                 result,
@@ -248,8 +286,31 @@ class ScenarioRuntime:
             )
 
 
+    def _measure_dataplane(self, result) -> None:
+        """Disseminate one capture span over the just-installed forest."""
+        report = make_dataplane(
+            self.session,
+            result.forest,
+            self.rng.spawn(f"dataplane-{self.server.epoch}"),
+            latency_bound_ms=self.spec.latency_bound_ms,
+        ).run(self.dataplane_duration_ms)
+        self.report.dataplane_frames_delivered += report.frames_delivered
+        self.report.dataplane_total_latency_ms += sum(
+            stats.total_latency_ms for stats in report.deliveries.values()
+        )
+        self.report.dataplane_max_latency_ms = max(
+            self.report.dataplane_max_latency_ms, report.max_latency_ms
+        )
+        self.report.dataplane_bound_violations += report.bound_violations()
+
+
 def run_scenario(
-    spec: ScenarioSpec, audit: bool = True, strict: bool = False
+    spec: ScenarioSpec,
+    audit: bool = True,
+    strict: bool = False,
+    dataplane: bool = False,
 ) -> ScenarioReport:
     """Convenience wrapper: build a runtime, run it, return the report."""
-    return ScenarioRuntime(spec, audit=audit, strict=strict).run()
+    return ScenarioRuntime(
+        spec, audit=audit, strict=strict, dataplane=dataplane
+    ).run()

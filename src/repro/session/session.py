@@ -17,6 +17,7 @@ from repro.fov.camera import camera_ring
 from repro.session.capacity import CapacityAssignment, CapacityModel
 from repro.session.entities import Camera3D, Display3D, RendezvousPoint, Site
 from repro.session.streams import StreamDescriptor, StreamId, StreamRegistry
+from repro.topology.dense import DenseCostMatrix
 from repro.topology.graph import Topology
 from repro.topology.placement import place_sites
 from repro.util.rng import RngStream
@@ -70,15 +71,23 @@ class TISession:
             if site.pop_id in seen_pops:
                 raise SessionError(f"two sites share PoP {site.pop_id!r}")
             seen_pops.add(site.pop_id)
+        # ``_dense_costs`` is the bulk-access surface for consumers that
+        # want contiguous rows (see :meth:`dense_cost_matrix`); the dict
+        # field stays authoritative for ``cost_ms``/``cost_matrix``.
         if not self._cost_matrix:
-            self._cost_matrix = self._compute_cost_matrix()
-
-    def _compute_cost_matrix(self) -> dict[int, dict[int, float]]:
-        pop_matrix = self.topology.cost_matrix([s.pop_id for s in self.sites])
-        return {
-            a.index: {b.index: pop_matrix[a.pop_id][b.pop_id] for b in self.sites}
-            for a in self.sites
-        }
+            pop_matrix = self.topology.dense_cost_matrix(
+                [s.pop_id for s in self.sites]
+            )
+            rows = [list(pop_matrix.row(i)) for i in range(len(self.sites))]
+            self._dense_costs = DenseCostMatrix(rows)
+            self._cost_matrix = {
+                a.index: {b.index: rows[a.index][b.index] for b in self.sites}
+                for a in self.sites
+            }
+        else:
+            self._dense_costs = DenseCostMatrix.from_nested(
+                self._cost_matrix, nodes=range(len(self.sites))
+            )
 
     # -- accessors ---------------------------------------------------------------
 
@@ -104,6 +113,10 @@ class TISession:
     def cost_matrix(self) -> dict[int, dict[int, float]]:
         """A copy of the site-indexed latency matrix."""
         return {a: dict(row) for a, row in self._cost_matrix.items()}
+
+    def dense_cost_matrix(self) -> DenseCostMatrix:
+        """The shared site-indexed dense latency matrix (read-only)."""
+        return self._dense_costs
 
     def inbound_limit(self, site: int) -> int:
         """``I_site`` in stream units."""

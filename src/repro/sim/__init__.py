@@ -8,7 +8,12 @@ over a constructed forest, and churn/rebuild experiments.
 
 from repro.sim.engine import Simulator
 from repro.sim.network import LatencyNetwork
-from repro.sim.dataplane import DataPlaneReport, ForestDataPlane
+from repro.sim.dataplane import (
+    DataPlaneReport,
+    FastDataPlane,
+    ForestDataPlane,
+    make_dataplane,
+)
 from repro.sim.churn import RebuildReport, rebuild_after_leave
 from repro.sim.invariants import AuditReport, InvariantAuditor, Violation
 
@@ -16,7 +21,9 @@ __all__ = [
     "Simulator",
     "LatencyNetwork",
     "DataPlaneReport",
+    "FastDataPlane",
     "ForestDataPlane",
+    "make_dataplane",
     "RebuildReport",
     "rebuild_after_leave",
     "AuditReport",

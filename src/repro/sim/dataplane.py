@@ -6,6 +6,20 @@ stream's multicast tree, and every subscriber records the end-to-end
 delivery latency.  With zero jitter the measured latency of every
 delivery equals the tree path cost, which the builder guaranteed to be
 below ``B_cost`` — the report cross-checks exactly that.
+
+Two implementations share the :class:`DataPlaneReport` contract:
+
+* :class:`ForestDataPlane` — the event-driven simulator: every hop of
+  every frame is a scheduled callback.  Required whenever jitter or
+  loss perturb deliveries.
+* :class:`FastDataPlane` — the analytic batched plane: with zero
+  jitter/loss the run is fully determined by the capture schedule and
+  the per-tree hop costs, so the report is computed with per-tree
+  array arithmetic (frames x hop costs) and **no** simulator events.
+  It reproduces the event-driven report bit for bit, including the
+  floating-point accumulation order.
+
+:func:`make_dataplane` dispatches between them automatically.
 """
 
 from __future__ import annotations
@@ -13,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.forest import OverlayForest
+from repro.errors import SimulationError
 from repro.media.frames import Frame3D, FrameClock
 from repro.media.source import CameraSource
 from repro.session.session import TISession
@@ -89,7 +104,10 @@ class DataPlaneReport:
 
 
 class ForestDataPlane:
-    """Runs the media data plane over a built forest."""
+    """Runs the media data plane over a built forest (event-driven)."""
+
+    #: Dispatch tag (see :func:`make_dataplane`).
+    kind = "event"
 
     def __init__(
         self,
@@ -185,3 +203,139 @@ class ForestDataPlane:
         stats.record(latency)
         self._delivered += 1
         self._relay(at_site, frame)
+
+
+class FastDataPlane:
+    """Analytic batched data plane for deterministic (zero jitter/loss) runs.
+
+    Exploits the determinism the event-driven plane only discovers the
+    hard way: with no jitter and no loss, every frame captured at ``t0``
+    arrives at member ``v`` at exactly ``t0 + sum(hop costs on the
+    source->v tree path)``, accumulated hop by hop in IEEE-754 — the
+    same float recurrence the simulator's clock performs.  One pass per
+    tree over (members x frames) float adds therefore reproduces the
+    event-driven :class:`DataPlaneReport` bit for bit, with no heap,
+    no callbacks, and no per-frame object construction.
+
+    Raises :class:`~repro.errors.SimulationError` when constructed with
+    jitter or loss — those runs need the event-driven plane (use
+    :func:`make_dataplane` to dispatch automatically).
+    """
+
+    #: Dispatch tag (see :func:`make_dataplane`).
+    kind = "fast"
+
+    def __init__(
+        self,
+        session: TISession,
+        forest: OverlayForest,
+        rng: RngStream,
+        fps: float = 15.0,
+        jitter_ms: float = 0.0,
+        loss_probability: float = 0.0,
+        latency_bound_ms: float = 120.0,
+    ) -> None:
+        if jitter_ms != 0.0 or loss_probability != 0.0:
+            raise SimulationError(
+                "FastDataPlane is exact only for zero jitter/loss; "
+                f"got jitter_ms={jitter_ms}, loss={loss_probability} "
+                "(use make_dataplane() to dispatch)"
+            )
+        self.session = session
+        self.forest = forest
+        self.rng = rng
+        self.fps = fps
+        self.latency_bound_ms = latency_bound_ms
+
+    def run(self, duration_ms: float = 2000.0) -> DataPlaneReport:
+        """Compute ``duration_ms`` of capture and dissemination analytically."""
+        deliveries: dict[tuple[StreamId, int], DeliveryStats] = {}
+        bytes_sent: dict[int, int] = {
+            site.index: 0 for site in self.session.sites
+        }
+        captured = 0
+        delivered = 0
+        cost_ms = self.session.cost_ms
+        for stream_id, tree in self.forest.trees.items():
+            if not tree.receivers():
+                continue  # nobody subscribed; camera stays local
+            descriptor = self.session.registry.describe(stream_id)
+            clock = FrameClock(
+                stream_id=stream_id,
+                bandwidth_mbps=descriptor.bandwidth_mbps,
+                fps=self.fps,
+            )
+            camera_rng = self.rng.spawn(f"camera-{stream_id}")
+            # Replicate CameraSource's capture cadence exactly: the
+            # repeated float add is the schedule the simulator ran.
+            interval = clock.interval_ms
+            times: list[float] = []
+            t = 0.0
+            while t <= duration_ms:
+                times.append(t)
+                t += interval
+            n_frames = len(times)
+            stream_bytes = int(sum(clock.sample_sizes(camera_rng, n_frames)))
+            captured += n_frames
+            source = tree.source
+            # Per-member arrival-time arrays, parents before children
+            # (path_costs iterates in attach order).
+            arrivals: dict[int, list[float]] = {source: times}
+            parent_of = tree.parent
+            for node in tree.path_costs():
+                if node == source:
+                    continue
+                parent = parent_of(node)
+                hop = cost_ms(parent, node)
+                node_arrivals = [a + hop for a in arrivals[parent]]
+                arrivals[node] = node_arrivals
+                bytes_sent[parent] += stream_bytes
+                latencies = [a - t0 for a, t0 in zip(node_arrivals, times)]
+                stats = DeliveryStats()
+                stats.frames = n_frames
+                stats.total_latency_ms = sum(latencies)
+                stats.max_latency_ms = max(0.0, max(latencies))
+                deliveries[(stream_id, node)] = stats
+                delivered += n_frames
+        return DataPlaneReport(
+            duration_ms=duration_ms,
+            frames_captured=captured,
+            frames_delivered=delivered,
+            deliveries=deliveries,
+            bytes_sent_by_site=bytes_sent,
+            latency_bound_ms=self.latency_bound_ms,
+        )
+
+
+def make_dataplane(
+    session: TISession,
+    forest: OverlayForest,
+    rng: RngStream,
+    fps: float = 15.0,
+    jitter_ms: float = 0.0,
+    loss_probability: float = 0.0,
+    latency_bound_ms: float = 120.0,
+) -> "FastDataPlane | ForestDataPlane":
+    """Pick the right data plane for the run's noise model.
+
+    Deterministic runs (zero jitter *and* zero loss — the paper's
+    evaluation setting) get the analytic :class:`FastDataPlane`; any
+    stochastic perturbation routes to the event-driven
+    :class:`ForestDataPlane`.  Both produce identical reports on the
+    deterministic setting, so callers never need to care which they got
+    (check ``plane.kind`` when they do).
+    """
+    plane_cls = (
+        FastDataPlane
+        if jitter_ms == 0.0 and loss_probability == 0.0
+        else ForestDataPlane
+    )
+    return plane_cls(
+        session=session,
+        forest=forest,
+        rng=rng,
+        fps=fps,
+        jitter_ms=jitter_ms,
+        loss_probability=loss_probability,
+        latency_bound_ms=latency_bound_ms,
+    )

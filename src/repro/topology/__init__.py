@@ -18,6 +18,7 @@ RP-to-RP cost matrix, so any geographically-embedded connected graph
 exercises the identical code paths as the original Mapnet data.
 """
 
+from repro.topology.dense import DenseCostMatrix
 from repro.topology.geo import GeoPoint, haversine_km
 from repro.topology.graph import Link, Topology
 from repro.topology.backbone import BACKBONES, load_backbone
@@ -25,6 +26,7 @@ from repro.topology.synthetic import SyntheticBackboneConfig, synthetic_backbone
 from repro.topology.placement import place_sites
 
 __all__ = [
+    "DenseCostMatrix",
     "GeoPoint",
     "haversine_km",
     "Link",

@@ -142,19 +142,33 @@ BACKBONES: dict[str, tuple[list[tuple[str, float, float]], list[tuple[str, str]]
 }
 
 
+#: Seed for generated ``synthetic-<n>`` backbones; fixed so a name like
+#: ``synthetic-256`` denotes one reproducible topology everywhere.
+SYNTHETIC_BACKBONE_SEED = 9001
+
+
 def load_backbone(name: str = "tier1") -> Topology:
     """Instantiate an embedded backbone dataset as a :class:`Topology`.
+
+    Beyond the embedded datasets, ``synthetic-<n>`` (e.g.
+    ``synthetic-256``) generates a deterministic Waxman backbone with
+    ``n`` PoPs, which is how scenario and perf sweeps scale past the
+    26-PoP tier-1 map.
 
     Raises
     ------
     TopologyError
-        If ``name`` is not one of :data:`BACKBONES`.
+        If ``name`` is not one of :data:`BACKBONES` or ``synthetic-<n>``.
     """
+    if name.startswith("synthetic-"):
+        return _synthetic_by_name(name)
     try:
         pops, links = BACKBONES[name]
     except KeyError:
         known = ", ".join(sorted(BACKBONES))
-        raise TopologyError(f"unknown backbone {name!r}; known: {known}") from None
+        raise TopologyError(
+            f"unknown backbone {name!r}; known: {known}, synthetic-<n>"
+        ) from None
     topology = Topology(name=name)
     for pop_id, lat, lon in pops:
         topology.add_pop(pop_id, GeoPoint(lat, lon))
@@ -162,4 +176,26 @@ def load_backbone(name: str = "tier1") -> Topology:
         topology.add_link(a, b)
     if not topology.is_connected():  # defensive: datasets above are connected
         raise TopologyError(f"backbone {name!r} is not connected")
+    return topology
+
+
+def _synthetic_by_name(name: str) -> Topology:
+    """Generate the deterministic backbone for a ``synthetic-<n>`` name."""
+    from repro.topology.synthetic import SyntheticBackboneConfig, synthetic_backbone
+    from repro.util.rng import RngStream
+
+    suffix = name[len("synthetic-"):]
+    try:
+        n_pops = int(suffix)
+    except ValueError:
+        raise TopologyError(
+            f"bad synthetic backbone name {name!r}; expected synthetic-<n>"
+        ) from None
+    if n_pops < 2:
+        raise TopologyError(f"synthetic backbone needs >= 2 PoPs, got {n_pops}")
+    topology = synthetic_backbone(
+        SyntheticBackboneConfig(n_pops=n_pops),
+        RngStream(SYNTHETIC_BACKBONE_SEED, label=name),
+    )
+    topology.name = name
     return topology

@@ -1,0 +1,148 @@
+"""Contiguous dense cost matrices for the overlay hot paths.
+
+The overlay builders interrogate pairwise latency costs millions of
+times per sweep (every parent search scans every tree member).  A
+dict-of-dict matrix pays two hash lookups per probe; the
+:class:`DenseCostMatrix` here stores the same data as an index-mapped
+list of row lists, so a probe is two list indexings and a whole row can
+be handed to a scan loop at once.  It is dependency-free on purpose —
+the repo bans third-party numeric packages — but the layout is exactly
+what a numpy array would hold, so a future backend swap is mechanical.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import TopologyError
+
+
+class DenseCostMatrix:
+    """An n x n cost matrix over nodes indexed ``0..n-1``.
+
+    Rows are plain float lists; :meth:`row` and :meth:`column` return
+    the internal lists directly (no copies) and callers must treat them
+    as read-only.  An optional ``labels`` sequence maps external ids
+    (e.g. PoP names) to indices for graph-level consumers.
+    """
+
+    __slots__ = ("n", "_rows", "_cols", "_labels", "_index")
+
+    def __init__(
+        self,
+        rows: list[list[float]],
+        labels: Sequence[Hashable] | None = None,
+    ) -> None:
+        self.n = len(rows)
+        for i, row in enumerate(rows):
+            if len(row) != self.n:
+                raise TopologyError(
+                    f"row {i} has {len(row)} entries, expected {self.n}"
+                )
+        self._rows = rows
+        self._cols: list[list[float]] | None = None
+        if labels is not None and len(labels) != self.n:
+            raise TopologyError(
+                f"{len(labels)} labels for {self.n} rows"
+            )
+        self._labels = list(labels) if labels is not None else None
+        self._index = (
+            {label: i for i, label in enumerate(self._labels)}
+            if self._labels is not None
+            else None
+        )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_nested(
+        cls,
+        nested: Mapping,
+        nodes: Iterable[Hashable] | None = None,
+    ) -> "DenseCostMatrix":
+        """Build from a ``nested[a][b] -> cost`` mapping.
+
+        ``nodes`` fixes the index order; by default the mapping's own
+        key order is used.  Missing entries raise
+        :class:`~repro.errors.TopologyError`.
+        """
+        order = list(nodes) if nodes is not None else list(nested)
+        rows: list[list[float]] = []
+        for a in order:
+            source = nested.get(a)
+            if source is None:
+                raise TopologyError(f"missing cost row for node {a!r}")
+            try:
+                rows.append([float(source[b]) for b in order])
+            except KeyError as missing:
+                raise TopologyError(
+                    f"missing cost entry {a!r}->{missing.args[0]!r}"
+                ) from None
+        return cls(rows, labels=order)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def edge_cost(self, a: int, b: int) -> float:
+        """O(1) cost between node indices ``a`` and ``b``."""
+        return self._rows[a][b]
+
+    def row(self, a: int) -> list[float]:
+        """Costs *from* node ``a`` to every node (shared list, read-only)."""
+        return self._rows[a]
+
+    def column(self, b: int) -> list[float]:
+        """Costs *to* node ``b`` from every node (shared list, read-only).
+
+        The transpose is materialized lazily on first use and reused, so
+        repeated column scans (the parent-search hot path) stay O(1) per
+        call after the first.
+        """
+        if self._cols is None:
+            self._cols = [list(col) for col in zip(*self._rows)] if self.n else []
+        return self._cols[b]
+
+    def set_cost(self, a: int, b: int, value: float) -> None:
+        """Update one entry (and drop the lazy transpose)."""
+        self._rows[a][b] = value
+        self._cols = None
+
+    def index_of(self, label: Hashable) -> int:
+        """Index of an external node id (requires labels)."""
+        if self._index is None:
+            raise TopologyError("matrix has no label mapping")
+        try:
+            return self._index[label]
+        except KeyError:
+            raise TopologyError(f"unknown node {label!r}") from None
+
+    @property
+    def labels(self) -> list[Hashable] | None:
+        """External ids in index order, when provided."""
+        return list(self._labels) if self._labels is not None else None
+
+    def is_symmetric(self, tolerance: float = 0.0) -> bool:
+        """True when ``cost(a, b) == cost(b, a)`` everywhere."""
+        rows = self._rows
+        for i in range(self.n):
+            row = rows[i]
+            for j in range(i + 1, self.n):
+                if abs(row[j] - rows[j][i]) > tolerance:
+                    return False
+        return True
+
+    def to_nested(self) -> dict:
+        """Export back to the legacy ``nested[a][b]`` dict form.
+
+        Keys are labels when present, indices otherwise.
+        """
+        keys = self._labels if self._labels is not None else list(range(self.n))
+        return {
+            keys[i]: {keys[j]: self._rows[i][j] for j in range(self.n)}
+            for i in range(self.n)
+        }
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DenseCostMatrix(n={self.n}, labelled={self._labels is not None})"

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import TopologyError
+from repro.topology.dense import DenseCostMatrix
 from repro.topology.geo import GeoPoint, haversine_km
 from repro.util.units import propagation_delay_ms
 
@@ -146,13 +148,19 @@ class Topology:
 
     # -- shortest paths ----------------------------------------------------------
 
-    def shortest_costs_from(self, source: str) -> dict[str, float]:
-        """Dijkstra single-source latency costs (cached)."""
+    def shortest_costs_from(self, source: str) -> Mapping[str, float]:
+        """Dijkstra single-source latency costs (cached).
+
+        Returns the cached row itself wrapped read-only — callers on the
+        sweep hot path hit this per sample, and copying the whole row
+        per hit dominated profile time.  Use ``dict(...)`` for a
+        mutable copy.
+        """
         if source not in self._coords:
             raise TopologyError(f"unknown PoP {source!r}")
         cached = self._apsp_cache.get(source)
         if cached is not None:
-            return dict(cached)
+            return MappingProxyType(cached)
         dist: dict[str, float] = {source: 0.0}
         heap: list[tuple[float, str]] = [(0.0, source)]
         done: set[str] = set()
@@ -167,7 +175,7 @@ class Topology:
                     dist[nbr] = nd
                     heapq.heappush(heap, (nd, nbr))
         self._apsp_cache[source] = dist
-        return dict(dist)
+        return MappingProxyType(dist)
 
     def cost_ms(self, a: str, b: str) -> float:
         """Shortest-path one-way latency between two PoPs."""
@@ -202,6 +210,32 @@ class Topology:
                     raise TopologyError(f"no path from {a!r} to {b!r}")
             matrix[a] = row
         return matrix
+
+    def dense_cost_matrix(
+        self, pops: Iterable[str] | None = None
+    ) -> DenseCostMatrix:
+        """The pairwise latency matrix as an index-mapped dense matrix.
+
+        This is the form the overlay hot paths consume: contiguous row
+        lists with O(1) ``edge_cost`` and bulk row access, labelled by
+        PoP id in the order of ``pops``.
+        """
+        selected = list(pops) if pops is not None else self.pop_ids
+        rows: list[list[float]] = []
+        for a in selected:
+            if a not in self._coords:
+                raise TopologyError(f"unknown PoP {a!r}")
+            costs = self.shortest_costs_from(a)
+            row: list[float] = []
+            for b in selected:
+                if a == b:
+                    row.append(0.0)
+                elif b in costs:
+                    row.append(costs[b])
+                else:
+                    raise TopologyError(f"no path from {a!r} to {b!r}")
+            rows.append(row)
+        return DenseCostMatrix(rows, labels=selected)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
