@@ -13,11 +13,14 @@ and runs audited stress scenarios against the control plane::
 
     tele3d scenario list
     tele3d scenario run flash-crowd --sites 8 --audit --dataplane
+    tele3d scenario run mixed-churn --rebuild-policy incremental
+    tele3d disruption --scenario mixed-churn --sizes 8,16,32
 
 and the tracked performance baseline::
 
-    tele3d perf sweep --sizes 16,32,64,128,256 --label PR2
+    tele3d perf sweep --sizes 16,32,64,128,256 --label PR3
     tele3d perf compare BENCH_PR2.json BENCH_PR3.json
+    tele3d perf compare BENCH_PR3.json BENCH_CI.json --ratchet
     tele3d perf smoke
 
 Any figure command accepts ``--audit`` to re-derive every structural
@@ -33,6 +36,7 @@ from dataclasses import replace
 from typing import Sequence
 
 from repro.errors import Tele3DError
+from repro.util.validation import REBUILD_POLICIES
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -112,7 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("--dataplane", action="store_true",
                           help="measure frame dissemination (fast plane) "
                                "after every control round")
+    scen_run.add_argument("--rebuild-policy", default=None,
+                          choices=REBUILD_POLICIES,
+                          help="overlay maintenance across rounds: re-solve "
+                               "from scratch (always), repair the surviving "
+                               "forest (incremental), or repair under a "
+                               "drift budget (hybrid)")
     scen_sub.add_parser("list", help="list the named scenarios")
+
+    pdisr = sub.add_parser(
+        "disruption",
+        help="sweep per-round disruption of the rebuild policies under churn",
+    )
+    pdisr.add_argument("--scenario", default="mixed-churn",
+                       help="named scenario to replay (see 'scenario list')")
+    pdisr.add_argument("--sizes", default="8,16,32",
+                       help="comma-separated site-pool sizes")
+    pdisr.add_argument("--seed", type=int, default=7, help="root RNG seed")
+    pdisr.add_argument("--audit", action="store_true",
+                       help="audit every control round of every run")
+    pdisr.add_argument("--no-plot", action="store_true",
+                       help="print the table only, skip the ASCII plot")
 
     pperf = sub.add_parser(
         "perf", help="performance sweeps and tracked baselines"
@@ -142,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf_compare.add_argument("old", help="previous BENCH_*.json")
     perf_compare.add_argument("new", help="new BENCH_*.json")
+    perf_compare.add_argument("--ratchet", action="store_true",
+                              help="fail (exit 1) when build or fast-plane "
+                                   "timings regress beyond the threshold")
+    perf_compare.add_argument("--threshold", type=float, default=2.0,
+                              help="ratchet regression threshold as a "
+                                   "new/old ratio (default 2.0)")
     perf_smoke = perf_sub.add_parser(
         "smoke", help="assert the fast plane outruns the event-driven plane"
     )
@@ -286,6 +316,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     spec = get_scenario(args.name, sites=args.sites, seed=args.seed)
     if args.algorithm:
         spec = replace(spec, algorithm=args.algorithm)
+    if args.rebuild_policy:
+        spec = replace(spec, rebuild_policy=args.rebuild_policy)
     report = run_scenario(
         spec, audit=args.audit, strict=args.strict, dataplane=args.dataplane
     )
@@ -293,11 +325,35 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_disruption(args: argparse.Namespace) -> int:
+    """Run the rebuild-policy disruption sweep and render it."""
+    from repro.experiments.disruption import run_disruption
+
+    sizes = tuple(int(part) for part in args.sizes.split(",") if part)
+    result = run_disruption(
+        scenario=args.scenario, sizes=sizes, seed=args.seed, audit=args.audit
+    )
+    title = (
+        f"Disruption under churn ({args.scenario}): mean per-round parent "
+        f"moves vs N, by rebuild policy"
+    )
+    print(series_table(result, "N", title=title))
+    if not args.no_plot:
+        print()
+        print(series_plot(result, title, include=list(REBUILD_POLICIES)))
+    return 0
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     """Dispatch ``perf sweep`` / ``perf compare`` / ``perf smoke``."""
     import json
 
-    from repro.perf import compare_reports, run_perf_case, run_perf_sweep
+    from repro.perf import (
+        compare_reports,
+        ratchet_check,
+        run_perf_case,
+        run_perf_sweep,
+    )
 
     if args.perf_command == "sweep":
         sizes = tuple(int(part) for part in args.sizes.split(",") if part)
@@ -318,11 +374,25 @@ def cmd_perf(args: argparse.Namespace) -> int:
             print(f"\nwrote {output}")
         return 0
     if args.perf_command == "compare":
-        with open(args.old, encoding="utf-8") as handle:
-            old = json.load(handle)
-        with open(args.new, encoding="utf-8") as handle:
-            new = json.load(handle)
+        try:
+            with open(args.old, encoding="utf-8") as handle:
+                old = json.load(handle)
+            with open(args.new, encoding="utf-8") as handle:
+                new = json.load(handle)
+        except FileNotFoundError as error:
+            print(f"perf compare: missing baseline: {error.filename}",
+                  file=sys.stderr)
+            return 1
         print(compare_reports(old, new))
+        if not args.ratchet:
+            return 0
+        failures = ratchet_check(old, new, threshold=args.threshold)
+        if failures:
+            print("\nperf ratchet FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nperf ratchet passed (threshold {args.threshold:.1f}x)")
         return 0
     # smoke: the CI gate — the fast plane must beat the event-driven one.
     from repro.errors import SimulationError
@@ -362,6 +432,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "demo": cmd_demo,
         "scorecard": cmd_scorecard,
         "scenario": cmd_scenario,
+        "disruption": cmd_disruption,
         "perf": cmd_perf,
     }
     try:

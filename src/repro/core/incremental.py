@@ -1,8 +1,8 @@
 """Incremental overlay maintenance (the paper's future-work direction).
 
 The paper solves the *static* construction problem and re-solves it on
-any change.  This module adds the obvious incremental operations a
-deployment needs between full re-solves:
+any change.  This module provides the repair operations a deployment
+needs between full re-solves:
 
 * :func:`add_subscription` — join one new request into an existing
   forest with the basic node-join algorithm (optionally with the CO-RJ
@@ -11,20 +11,72 @@ deployment needs between full re-solves:
   release its resources (interior nodes must keep relaying, exactly as
   an RP keeps forwarding a stream its own displays stopped watching);
 * :func:`churn_rate` — how much of the existing forest a full re-solve
-  would move, for deciding *when* a re-solve is worth it.
+  would move, for deciding *when* a re-solve is worth it;
+* :class:`IncrementalRepairer` — the full control-path repairer: given
+  the previous round's :class:`~repro.core.base.BuildResult` and the
+  next round's :class:`~repro.core.problem.ForestProblem`, it carries
+  every surviving edge over untouched, prunes departed members (whole
+  subtrees re-home via the node-join algorithm), and only the genuinely
+  new or orphaned requests run through a join — so satisfied users are
+  not disturbed by unrelated churn.
+
+The :data:`REBUILD_POLICIES` threaded through ``TISession``,
+``MembershipServer`` and ``ScenarioRuntime`` pick between repair and
+re-solve:
+
+* ``"always"`` — the paper's model: re-solve from scratch every round;
+* ``"incremental"`` — repair every round, falling back to a scratch
+  rebuild only when the repair is infeasible (a previously-served
+  request could not be re-homed: capacity exhaustion or disconnected
+  residue);
+* ``"hybrid"`` — repair, but quality-guard each round against the
+  from-scratch solution: adopt the repair only while its rejection
+  count does not exceed scratch and its forest cost stays within the
+  configured drift budget.
 
 Incremental joins never move existing edges, so satisfied users are
 never disturbed; the price is that the incremental answer can be worse
-than a fresh solve (quantified by :func:`churn_rate` tests).
+than a fresh solve (quantified by :func:`churn_rate` and the hybrid
+drift budget).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.errors import OverlayError, SubscriptionError
 from repro.core.base import BuildResult
 from repro.core.correlation import CorrelatedRandomJoinBuilder
+from repro.core.forest import OverlayForest
 from repro.core.model import RejectionReason, SubscriptionRequest
 from repro.core.node_join import JoinOutcome, ParentPolicy, try_join
+from repro.core.problem import ForestProblem
+from repro.core.state import BuilderState
+from repro.util.validation import REBUILD_POLICIES, check_rebuild_policy
+
+#: Default hybrid drift budget: the repaired forest may cost at most
+#: ``(1 + budget)`` times the from-scratch solution before the round
+#: falls back to the scratch rebuild.
+DEFAULT_DRIFT_BUDGET = 0.15
+
+#: Canonical validator (the constant itself lives in
+#: :mod:`repro.util.validation` so the session layer can share it).
+validate_rebuild_policy = check_rebuild_policy
+
+
+def overlay_cost(result: BuildResult) -> float:
+    """Total relay cost of the forest: sum of every tree edge's latency.
+
+    This is the quality metric the hybrid policy budgets: local repair
+    keeps stale edges alive, so its forest drifts away from the
+    from-scratch optimum; the drift budget caps how far.
+    """
+    problem = result.problem
+    total = 0.0
+    for tree in result.forest.trees.values():
+        for parent, child in tree.edges():
+            total += problem.edge_cost(parent, child)
+    return total
 
 
 def add_subscription(
@@ -95,6 +147,7 @@ def remove_subscription(
     if tree is None or request.subscriber not in tree:
         raise OverlayError(f"{request} has no tree node to remove")
     forest.satisfied.remove(request)
+    result.invalidate_caches()
     if tree.is_leaf(request.subscriber):
         parent = tree.detach_leaf(request.subscriber)
         result.state.record_detach(tree, parent, request.subscriber)
@@ -142,3 +195,185 @@ def _drop_rejection_record(
         if recorded == request:
             del rejected[index]
             return
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one :meth:`IncrementalRepairer.repair` call.
+
+    ``feasible`` is the fallback signal: it is False when a request that
+    was served last round could not be re-homed after its relay departed
+    (capacity exhaustion or disconnected residue) — a scratch rebuild
+    might still serve that user, so policies treat the repair as failed.
+    """
+
+    result: BuildResult
+    feasible: bool
+    carried: int          #: satisfied requests whose edge survived intact
+    orphaned: int         #: previously-satisfied requests whose relay left
+    rejoined: int         #: orphans successfully re-homed
+    #: Previously-served, still-requested requests that end the repair
+    #: unserved — orphans that could not be re-homed *and* carried
+    #: requests later evicted by a victim swap.
+    lost: int
+    fresh_joined: int     #: genuinely new requests joined
+    fresh_rejected: int   #: genuinely new requests rejected
+    dropped_trees: int    #: trees whose stream left the problem entirely
+
+    @property
+    def touched(self) -> int:
+        """Requests the repair actually had to (re-)join."""
+        return self.orphaned + self.fresh_joined + self.fresh_rejected
+
+
+@dataclass
+class IncrementalRepairer:
+    """Patches a surviving overlay onto the next round's problem.
+
+    The repair walks the previous forest top-down and carries every edge
+    whose child is still a satisfied requester *and* whose parent chain
+    survived; because degree bounds and the cost matrix are per-session
+    constants, a carried subset of a feasible forest is itself feasible,
+    so no constraint re-checks are needed on the carry path.  Members
+    whose request disappeared (site leave, failure, FOV change) are
+    pruned; their descendants become *orphans* and re-join through the
+    basic node-join algorithm, exactly like fresh requests — optionally
+    with the CO-RJ victim swap as a last resort (``use_swap``).
+
+    The repaired :class:`~repro.core.base.BuildResult` references the
+    *new* problem and a freshly-replayed
+    :class:`~repro.core.state.BuilderState`, so it satisfies every
+    invariant the auditor re-derives (degree ledger, reservation
+    accounting, request accounting) by construction.
+    """
+
+    policy: ParentPolicy = field(default=ParentPolicy.MAX_RFC)
+    use_swap: bool = False
+
+    def repair(
+        self, previous: BuildResult, problem: ForestProblem
+    ) -> RepairReport:
+        """Carry the surviving forest into ``problem``; join the rest."""
+        forest = OverlayForest()
+        state = BuilderState(problem)
+        prev_forest = previous.forest
+        prev_satisfied = set(prev_forest.satisfied)
+        new_streams = {group.stream for group in problem.groups}
+        dropped_trees = sum(
+            1
+            for stream, tree in prev_forest.trees.items()
+            if stream not in new_streams and len(tree) > 1
+        )
+
+        carried = 0
+        orphans: list[SubscriptionRequest] = []
+        handled: set[SubscriptionRequest] = set()
+        for group in sorted(problem.groups, key=lambda g: g.stream):
+            state.open_group(group.stream)
+            tree = forest.tree(group.stream)
+            old_tree = prev_forest.trees.get(group.stream)
+            if old_tree is None:
+                continue
+            wanted = group.subscribers
+            # Old members iterate source-first in attach order, so every
+            # carried node finds its parent already attached; a node whose
+            # ancestor was pruned sees its parent missing and orphans.
+            for node in old_tree.members():
+                if node == old_tree.source:
+                    continue
+                request = SubscriptionRequest(subscriber=node, stream=group.stream)
+                if node not in wanted or request not in prev_satisfied:
+                    continue  # no longer requested: prune (subtree orphans)
+                handled.add(request)
+                parent = old_tree.parent(node)
+                if parent in tree and self._edge_fits(
+                    problem, state, tree, parent, node
+                ):
+                    tree.attach(parent, node, problem.edge_cost(parent, node))
+                    state.record_attach(tree, parent, node)
+                    forest.satisfied.append(request)
+                    carried += 1
+                else:
+                    orphans.append(request)
+
+        swapper = (
+            CorrelatedRandomJoinBuilder(repair_passes=0) if self.use_swap else None
+        )
+
+        def rejoin(request: SubscriptionRequest) -> bool:
+            tree = forest.tree(request.stream)
+            outcome = try_join(
+                problem, state, tree, request.subscriber, policy=self.policy
+            )
+            if outcome.accepted:
+                forest.satisfied.append(request)
+                return True
+            if swapper is not None and swapper.on_rejected(
+                problem, state, forest, request, outcome
+            ):
+                return True
+            forest.rejected.append((request, outcome.reason))
+            return False
+
+        rejoined = 0
+        for request in orphans:
+            if rejoin(request):
+                rejoined += 1
+        fresh_joined = fresh_rejected = 0
+        for request in problem.all_requests():
+            if request in handled:
+                continue
+            if rejoin(request):
+                fresh_joined += 1
+            else:
+                fresh_rejected += 1
+
+        result = BuildResult(
+            problem=problem,
+            forest=forest,
+            state=state,
+            algorithm=previous.algorithm,
+        )
+        # A user served last round whose request still stands must still
+        # be served, whether the repair orphaned them (no re-home found)
+        # or a victim swap evicted them after the carry.
+        satisfied_now = set(forest.satisfied)
+        lost = sum(
+            1
+            for request in handled
+            if request in prev_satisfied and request not in satisfied_now
+        )
+        return RepairReport(
+            result=result,
+            feasible=lost == 0,
+            carried=carried,
+            orphaned=len(orphans),
+            rejoined=rejoined,
+            lost=lost,
+            fresh_joined=fresh_joined,
+            fresh_rejected=fresh_rejected,
+            dropped_trees=dropped_trees,
+        )
+
+    @staticmethod
+    def _edge_fits(
+        problem: ForestProblem,
+        state: BuilderState,
+        tree,
+        parent: int,
+        node: int,
+    ) -> bool:
+        """Re-validate one carried edge against the *new* problem.
+
+        On the live control path bounds and costs are session constants,
+        so a carried subset of a feasible forest always fits and this
+        never fires; it guards direct API use against problems with
+        tightened capacities or costs, degrading the edge to an orphan
+        re-join instead of returning a constraint-violating forest.
+        """
+        return (
+            state.dout[parent] < problem.outbound_limit(parent)
+            and state.din[node] < problem.inbound_limit(node)
+            and tree.cost_from_source(parent) + problem.edge_cost(parent, node)
+            < problem.latency_bound_ms
+        )

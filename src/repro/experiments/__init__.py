@@ -7,6 +7,8 @@ One module per paper artifact:
 * :mod:`repro.experiments.fig10` — out-degree utilization / load balance;
 * :mod:`repro.experiments.fig11` — RJ vs CO-RJ under the correlation
   metric;
+* :mod:`repro.experiments.disruption` — rebuild-policy disruption sweep
+  under churn (repair vs re-solve, beyond the paper);
 
 plus :mod:`repro.experiments.runner` (sampling machinery shared by all)
 and :mod:`repro.experiments.settings` (the canonical Sec. 5.1 settings).
@@ -14,6 +16,7 @@ and :mod:`repro.experiments.settings` (the canonical Sec. 5.1 settings).
 
 from repro.experiments.settings import ExperimentSetting
 from repro.experiments.runner import SeriesResult, sample_problems, sweep_mean_metric
+from repro.experiments.disruption import run_disruption
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -24,6 +27,7 @@ __all__ = [
     "SeriesResult",
     "sample_problems",
     "sweep_mean_metric",
+    "run_disruption",
     "run_fig8",
     "run_fig9",
     "run_fig10",

@@ -3,16 +3,21 @@
 ``tele3d perf sweep`` times the overlay build, both data planes, and
 scenario control rounds across N, writing ``BENCH_<label>.json`` as the
 repo's tracked performance trajectory; ``tele3d perf compare`` diffs two
-such baselines and ``tele3d perf smoke`` is the CI gate asserting the
-fast plane actually outruns the event-driven one.
+such baselines (``--ratchet`` turns the diff into a CI gate that fails
+on >2x regressions of the build or fast-plane timings) and ``tele3d
+perf smoke`` asserts the fast plane actually outruns the event-driven
+one.
 """
 
 from repro.perf.timing import Stopwatch, Timing, time_call
 from repro.perf.sweep import (
     DEFAULT_SIZES,
+    RATCHET_METRICS,
+    RATCHET_THRESHOLD,
     PerfCase,
     PerfReport,
     compare_reports,
+    ratchet_check,
     reports_equal,
     run_perf_case,
     run_perf_sweep,
@@ -23,9 +28,12 @@ __all__ = [
     "Timing",
     "time_call",
     "DEFAULT_SIZES",
+    "RATCHET_METRICS",
+    "RATCHET_THRESHOLD",
     "PerfCase",
     "PerfReport",
     "compare_reports",
+    "ratchet_check",
     "reports_equal",
     "run_perf_case",
     "run_perf_sweep",

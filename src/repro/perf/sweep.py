@@ -57,6 +57,9 @@ class PerfCase:
     scenario_round: Timing | None
     frames_delivered: int
     reports_identical: bool | None
+    #: Mean control-round latency of the same churn scenario under
+    #: ``rebuild_policy="incremental"`` (None when scenarios are skipped).
+    scenario_round_incremental: Timing | None = None
 
     @property
     def speedup(self) -> float | None:
@@ -78,6 +81,11 @@ class PerfCase:
             ),
             "scenario_round": (
                 self.scenario_round.to_dict() if self.scenario_round else None
+            ),
+            "scenario_round_incremental": (
+                self.scenario_round_incremental.to_dict()
+                if self.scenario_round_incremental
+                else None
             ),
             "frames_delivered": self.frames_delivered,
             "reports_identical": self.reports_identical,
@@ -123,6 +131,7 @@ class PerfReport:
                 "event ms",
                 "speedup",
                 "scenario-round ms",
+                "round(incr) ms",
                 "identical",
             ],
             title=f"perf sweep [{self.label}]",
@@ -143,6 +152,11 @@ class PerfReport:
                     (
                         f"{case.scenario_round.best_ms:.1f}"
                         if case.scenario_round
+                        else "-"
+                    ),
+                    (
+                        f"{case.scenario_round_incremental.best_ms:.1f}"
+                        if case.scenario_round_incremental
                         else "-"
                     ),
                     (
@@ -187,7 +201,9 @@ def _sweep_session(n_sites: int, seed: int, streams_per_site: int) -> TISession:
     )
 
 
-def _scenario_spec(n_sites: int, seed: int) -> ScenarioSpec:
+def _scenario_spec(
+    n_sites: int, seed: int, rebuild_policy: str = "always"
+) -> ScenarioSpec:
     """A small churn scenario used purely for round timing."""
     return ScenarioSpec(
         name="perf-round",
@@ -199,6 +215,26 @@ def _scenario_spec(n_sites: int, seed: int) -> ScenarioSpec:
         backbone=f"synthetic-{n_sites}",
         displays_per_site=1,
         fov_size=2,
+        rebuild_policy=rebuild_policy,
+    )
+
+
+def _time_scenario_rounds(
+    n_sites: int, seed: int, rebuild_policy: str
+) -> Timing:
+    """Mean control-round latency of the timing scenario at one policy."""
+    from repro.scenarios.runtime import ScenarioRuntime
+
+    spec = _scenario_spec(n_sites, seed, rebuild_policy)
+    with Stopwatch() as stopwatch:
+        report = ScenarioRuntime(spec, audit=False).run()
+    rounds = max(1, report.rounds)
+    suffix = "" if rebuild_policy == "always" else f"({rebuild_policy})"
+    return Timing(
+        label=f"scenario-round{suffix}/N{n_sites}",
+        repeats=rounds,
+        total_s=stopwatch.elapsed_s,
+        best_s=stopwatch.elapsed_s / rounds,
     )
 
 
@@ -259,18 +295,11 @@ def run_perf_case(
             )
 
     scenario_timing: Timing | None = None
+    scenario_incremental_timing: Timing | None = None
     if with_scenario:
-        from repro.scenarios.runtime import ScenarioRuntime
-
-        spec = _scenario_spec(n_sites, seed)
-        with Stopwatch() as stopwatch:
-            scenario_report = ScenarioRuntime(spec, audit=False).run()
-        rounds = max(1, scenario_report.rounds)
-        scenario_timing = Timing(
-            label=f"scenario-round/N{n_sites}",
-            repeats=rounds,
-            total_s=stopwatch.elapsed_s,
-            best_s=stopwatch.elapsed_s / rounds,
+        scenario_timing = _time_scenario_rounds(n_sites, seed, "always")
+        scenario_incremental_timing = _time_scenario_rounds(
+            n_sites, seed, "incremental"
         )
 
     return PerfCase(
@@ -283,6 +312,7 @@ def run_perf_case(
         scenario_round=scenario_timing,
         frames_delivered=fast_report.frames_delivered,
         reports_identical=identical,
+        scenario_round_incremental=scenario_incremental_timing,
     )
 
 
@@ -360,3 +390,64 @@ def compare_reports(old: dict, new: dict) -> str:
         )
         table.add_row([n_sites, build_pair, fast_pair, f"{ratio:.2f}", speedups])
     return table.render()
+
+
+#: Timing series the CI ratchet gates (each a key into a case dict).
+RATCHET_METRICS = ("build", "fast_plane")
+
+#: Default regression threshold: new/old wall-clock ratios above this
+#: fail the ratchet.  2x is deliberately loose — absolute times are
+#: machine noise, only gross regressions should gate CI.
+RATCHET_THRESHOLD = 2.0
+
+
+def ratchet_check(
+    old: dict, new: dict, threshold: float = RATCHET_THRESHOLD
+) -> list[str]:
+    """Compare two parsed ``BENCH_*.json`` payloads; return failures.
+
+    For every sweep size present in both baselines, each metric in
+    :data:`RATCHET_METRICS` must not regress by more than ``threshold``
+    (ratio of best-of wall-clock times).  An empty list means the
+    ratchet passes; baselines with no comparable timings fail loudly
+    rather than silently passing.
+    """
+    failures: list[str] = []
+    old_by_n = {case["n_sites"]: case for case in old.get("cases", [])}
+    compared = 0
+    for case in new.get("cases", []):
+        n_sites = case["n_sites"]
+        before = old_by_n.get(n_sites)
+        if before is None:
+            continue
+        for metric in RATCHET_METRICS:
+            old_timing = before.get(metric)
+            new_timing = case.get(metric)
+            if not old_timing and not new_timing:
+                continue  # neither baseline tracks it at this size
+            if not old_timing or not new_timing:
+                # A gated metric present on one side only must not pass
+                # silently — that is how a gate rots away.
+                missing = "old" if not old_timing else "new"
+                failures.append(
+                    f"{metric} at N={n_sites}: missing from the {missing} "
+                    f"baseline"
+                )
+                continue
+            old_ms = old_timing.get("best_ms") or 0.0
+            new_ms = new_timing.get("best_ms") or 0.0
+            if old_ms <= 0.0 or new_ms <= 0.0:
+                continue
+            compared += 1
+            ratio = new_ms / old_ms
+            if ratio > threshold:
+                failures.append(
+                    f"{metric} at N={n_sites}: {old_ms:.2f}ms -> {new_ms:.2f}ms "
+                    f"({ratio:.2f}x > {threshold:.1f}x threshold)"
+                )
+    if compared == 0:
+        failures.append(
+            f"no comparable timings between baselines "
+            f"{old.get('label')!r} and {new.get('label')!r}"
+        )
+    return failures

@@ -5,6 +5,15 @@ centralized approach for simplicity: every RP reports its aggregated
 subscription, the server assembles the global subscription workload,
 solves the overlay construction problem with a pluggable builder, and
 dictates the resulting forest to all RPs as an :class:`OverlayDirective`.
+
+The server's ``rebuild_policy`` decides how each round's overlay is
+obtained (see :mod:`repro.core.incremental`): ``"always"`` re-solves
+from scratch (the paper's model); ``"incremental"`` repairs the previous
+round's forest and only re-solves when the repair is infeasible;
+``"hybrid"`` repairs but adopts the repair only while it stays within
+``drift_budget`` of the from-scratch solution.  Per-round disruption
+(:func:`~repro.core.incremental.churn_rate` against the previous round)
+and repair-vs-rebuild counts are tracked for reporting.
 """
 
 from __future__ import annotations
@@ -13,11 +22,20 @@ from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
 from repro.core.base import BuildResult, OverlayBuilder
+from repro.core.correlation import CorrelatedRandomJoinBuilder
+from repro.core.incremental import (
+    DEFAULT_DRIFT_BUDGET,
+    IncrementalRepairer,
+    churn_rate,
+    overlay_cost,
+    validate_rebuild_policy,
+)
 from repro.core.problem import ForestProblem
 from repro.pubsub.messages import Advertisement, OverlayDirective, SiteSubscription
 from repro.session.session import TISession
 from repro.session.streams import StreamId
 from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative
 from repro.workload.spec import SubscriptionWorkload
 
 
@@ -28,10 +46,33 @@ class MembershipServer:
     session: TISession
     builder: OverlayBuilder
     latency_bound_ms: float = 120.0
+    #: Overlay maintenance policy; ``None`` adopts the session's default.
+    rebuild_policy: str | None = None
+    #: Hybrid-mode quality budget: the repaired forest may cost at most
+    #: ``(1 + drift_budget)`` times the scratch solution of the round.
+    drift_budget: float = DEFAULT_DRIFT_BUDGET
     _advertised: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
     _subscriptions: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
     _epoch: int = 0
     _last_result: BuildResult | None = None
+    _repairs: int = 0
+    _rebuilds: int = 0
+    _last_disruption: float | None = None
+    _last_mode: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.rebuild_policy is None:
+            self.rebuild_policy = self.session.rebuild_policy
+        validate_rebuild_policy(self.rebuild_policy)
+        check_non_negative("drift_budget", self.drift_budget)
+        # Repair joins mirror the configured builder: same parent
+        # policy, and the CO-RJ victim swap only when the builder itself
+        # is correlation-aware — keeping repair and rebuild semantics
+        # aligned per algorithm.
+        self._repairer = IncrementalRepairer(
+            policy=self.builder.parent_policy,
+            use_swap=isinstance(self.builder, CorrelatedRandomJoinBuilder),
+        )
 
     # -- registration ------------------------------------------------------------
 
@@ -85,17 +126,52 @@ class MembershipServer:
         return SubscriptionWorkload.from_site_sets(self.session.n_sites, site_sets)
 
     def build_overlay(self, rng: RngStream) -> OverlayDirective:
-        """Solve the forest problem and emit the next directive."""
+        """Obtain the round's forest (repair or re-solve) and emit the directive.
+
+        The first round always builds from scratch; afterwards the
+        configured ``rebuild_policy`` decides whether the previous forest
+        is repaired in place or the problem is re-solved.
+        """
         workload = self.global_workload()
         problem = ForestProblem.from_workload(
             self.session, workload, self.latency_bound_ms
         )
-        result = self.builder.build(problem, rng)
+        previous = self._last_result
+        result: BuildResult | None = None
+        mode = "rebuild"
+        if self.rebuild_policy != "always" and previous is not None:
+            repair = self._repairer.repair(previous, problem)
+            if self.rebuild_policy == "incremental":
+                if repair.feasible:
+                    result, mode = repair.result, "repair"
+            else:  # hybrid: quality-guard the repair against scratch
+                scratch = self.builder.build(problem, rng.spawn("scratch"))
+                if repair.feasible and self._within_budget(repair.result, scratch):
+                    result, mode = repair.result, "repair"
+                else:
+                    result = scratch
+        if result is None:
+            result = self.builder.build(problem, rng)
+        if mode == "repair":
+            self._repairs += 1
+        else:
+            self._rebuilds += 1
+        self._last_mode = mode
+        self._last_disruption = (
+            churn_rate(previous, result) if previous is not None else None
+        )
         self._last_result = result
         self._epoch += 1
         edges = tuple(sorted(result.forest.edges()))
         rejected = tuple(result.rejected)
         return OverlayDirective(epoch=self._epoch, edges=edges, rejected=rejected)
+
+    def _within_budget(self, repaired: BuildResult, scratch: BuildResult) -> bool:
+        """Hybrid adoption rule: no extra rejections, bounded cost drift."""
+        if len(repaired.rejected) > len(scratch.rejected):
+            return False
+        budget = overlay_cost(scratch) * (1.0 + self.drift_budget)
+        return overlay_cost(repaired) <= budget + 1e-9
 
     # -- inspection ---------------------------------------------------------------
 
@@ -108,3 +184,26 @@ class MembershipServer:
     def last_result(self) -> BuildResult | None:
         """The most recent build result (None before the first round)."""
         return self._last_result
+
+    @property
+    def repairs(self) -> int:
+        """Rounds served by incremental repair."""
+        return self._repairs
+
+    @property
+    def rebuilds(self) -> int:
+        """Rounds served by a from-scratch rebuild."""
+        return self._rebuilds
+
+    @property
+    def last_mode(self) -> str | None:
+        """``"repair"`` or ``"rebuild"`` for the latest round (None before)."""
+        return self._last_mode
+
+    @property
+    def last_disruption(self) -> float | None:
+        """Fraction of surviving requests whose parent moved last round.
+
+        ``None`` for the first round (nothing to compare against).
+        """
+        return self._last_disruption

@@ -30,6 +30,8 @@ class PubSubSystem:
     session: TISession
     builder: OverlayBuilder
     latency_bound_ms: float = 120.0
+    #: Overlay maintenance policy; ``None`` adopts the session's default.
+    rebuild_policy: str | None = None
     rps: dict[int, RPAgent] = field(default_factory=dict)
     server: MembershipServer = field(init=False)
 
@@ -42,6 +44,7 @@ class PubSubSystem:
             session=self.session,
             builder=self.builder,
             latency_bound_ms=self.latency_bound_ms,
+            rebuild_policy=self.rebuild_policy,
         )
 
     # -- subscription entry points --------------------------------------------------

@@ -38,12 +38,21 @@ class ScenarioReport:
     seed: int
     n_sites: int
     duration_ms: float
+    rebuild_policy: str = "always"
     rounds: int = 0
     events: dict[str, int] = field(default_factory=dict)
     skipped_events: int = 0
     final_active: int = 0
     requests_total: int = 0
     rejected_total: int = 0
+    #: Rounds served by incremental repair vs from-scratch rebuild.
+    repairs: int = 0
+    rebuilds: int = 0
+    #: Sum of per-round disruption (parent moves among surviving
+    #: requests, :func:`~repro.core.incremental.churn_rate`) over the
+    #: ``disruption_rounds`` rounds that had a previous forest.
+    disruption_total: float = 0.0
+    disruption_rounds: int = 0
     audit: AuditReport | None = None
     #: Data-plane sidecar totals (all zero unless the runtime was
     #: created with ``dataplane=True``).
@@ -67,6 +76,13 @@ class ScenarioReport:
         return self.dataplane_total_latency_ms / self.dataplane_frames_delivered
 
     @property
+    def mean_disruption(self) -> float:
+        """Mean per-round disruption over rounds with a previous forest."""
+        if self.disruption_rounds == 0:
+            return 0.0
+        return self.disruption_total / self.disruption_rounds
+
+    @property
     def ok(self) -> bool:
         """True when auditing was off or found nothing."""
         return self.audit is None or self.audit.ok
@@ -82,6 +98,9 @@ class ScenarioReport:
             f"final active sites: {self.final_active}/{self.n_sites}",
             f"requests: {self.requests_total} total, {self.rejected_total} "
             f"rejected ({self.rejection_ratio:.1%})",
+            f"overlay maintenance [{self.rebuild_policy}]: {self.repairs} "
+            f"repairs, {self.rebuilds} rebuilds, mean disruption "
+            f"{self.mean_disruption:.3f}",
         ]
         if self.dataplane_frames_delivered:
             lines.append(
@@ -139,6 +158,7 @@ class ScenarioRuntime:
             session=self.session,
             builder=make_builder(spec.algorithm),
             latency_bound_ms=spec.latency_bound_ms,
+            rebuild_policy=spec.rebuild_policy,
         )
         self.active: set[int] = set()
         self.report = ScenarioReport(
@@ -146,6 +166,7 @@ class ScenarioRuntime:
             seed=spec.seed,
             n_sites=spec.n_sites,
             duration_ms=spec.duration_ms,
+            rebuild_policy=spec.rebuild_policy,
         )
         self._build_rng = self.rng.spawn("build")
         self._workload_rng = self.rng.spawn("workload")
@@ -168,6 +189,7 @@ class ScenarioRuntime:
             SessionConfig(
                 n_sites=spec.n_sites,
                 displays_per_site=spec.displays_per_site,
+                rebuild_policy=spec.rebuild_policy,
             ),
         )
 
@@ -185,6 +207,8 @@ class ScenarioRuntime:
             )
         self.sim.run(until_ms=self.spec.duration_ms)
         self.report.final_active = len(self.active)
+        self.report.repairs = self.server.repairs
+        self.report.rebuilds = self.server.rebuilds
         if self.auditor is not None:
             self.report.audit = self.auditor.report()
         return self.report
@@ -273,6 +297,10 @@ class ScenarioRuntime:
         self.report.rounds += 1
         self.report.requests_total += result.total_requests
         self.report.rejected_total += len(result.rejected)
+        disruption = self.server.last_disruption
+        if disruption is not None:
+            self.report.disruption_total += disruption
+            self.report.disruption_rounds += 1
         if self.dataplane:
             self._measure_dataplane(result)
         if self.auditor is not None:

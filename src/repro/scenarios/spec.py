@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.util.rng import RngStream
+from repro.util.validation import check_rebuild_policy
 
 
 class EventKind(enum.Enum):
@@ -90,6 +91,12 @@ class ScenarioSpec:
         Churn and FOV phases to compile into timed events.
     algorithm:
         Overlay builder name (see :func:`repro.core.registry.make_builder`).
+    rebuild_policy:
+        How the membership server maintains the overlay across rounds:
+        ``always`` (re-solve from scratch, the paper's model),
+        ``incremental`` (repair the surviving forest) or ``hybrid``
+        (repair under a drift budget); see
+        :mod:`repro.core.incremental`.
     nodes:
         Capacity family, ``uniform`` or ``heterogeneous``.
     capacity_base / capacity_jitter / streams_per_site:
@@ -104,6 +111,7 @@ class ScenarioSpec:
     seed: int
     schedule: tuple[SchedulePhase, ...] = field(default_factory=tuple)
     algorithm: str = "rj"
+    rebuild_policy: str = "always"
     nodes: str = "uniform"
     backbone: str = "tier1"
     latency_bound_ms: float = 120.0
@@ -125,6 +133,7 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"duration_ms must be positive, got {self.duration_ms}"
             )
+        check_rebuild_policy(self.rebuild_policy)
         if self.nodes not in ("uniform", "heterogeneous"):
             raise ConfigurationError(
                 f"nodes must be 'uniform' or 'heterogeneous', got {self.nodes!r}"
@@ -169,7 +178,11 @@ class ScenarioSpec:
         for phase in self.schedule:
             kinds[phase.kind.value] = kinds.get(phase.kind.value, 0) + phase.count
         mix = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        policy = (
+            "" if self.rebuild_policy == "always" else f" policy={self.rebuild_policy}"
+        )
         return (
             f"{self.name}: pool={self.n_sites} start={self.initial_active} "
             f"{self.duration_ms:.0f}ms [{mix or 'static'}] alg={self.algorithm}"
+            f"{policy}"
         )

@@ -21,6 +21,7 @@ from repro.topology.dense import DenseCostMatrix
 from repro.topology.graph import Topology
 from repro.topology.placement import place_sites
 from repro.util.rng import RngStream
+from repro.util.validation import check_rebuild_policy
 
 
 @dataclass
@@ -31,6 +32,10 @@ class SessionConfig:
     displays_per_site: int = 4
     placement: str = "random"
     camera_ring_radius: float = 3.0
+    #: Default overlay maintenance policy for control planes attached to
+    #: this session ("always" | "incremental" | "hybrid"); see
+    #: :mod:`repro.core.incremental`.
+    rebuild_policy: str = "always"
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
@@ -39,6 +44,7 @@ class SessionConfig:
             raise SessionError(
                 f"displays_per_site must be >= 1, got {self.displays_per_site}"
             )
+        check_rebuild_policy(self.rebuild_policy)
 
 
 @dataclass
@@ -58,9 +64,14 @@ class TISession:
     topology: Topology
     sites: list[Site]
     registry: StreamRegistry
+    #: Default overlay maintenance policy for control planes over this
+    #: session; :class:`~repro.pubsub.membership.MembershipServer`
+    #: resolves its own ``rebuild_policy=None`` against this.
+    rebuild_policy: str = "always"
     _cost_matrix: dict[int, dict[int, float]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        check_rebuild_policy(self.rebuild_policy)
         seen_pops: set[str] = set()
         for expected, site in enumerate(self.sites):
             if site.index != expected:
@@ -161,7 +172,12 @@ def build_session(
         sites.append(
             _build_site(index, pop_id, assignment, registry, config)
         )
-    return TISession(topology=topology, sites=sites, registry=registry)
+    return TISession(
+        topology=topology,
+        sites=sites,
+        registry=registry,
+        rebuild_policy=config.rebuild_policy,
+    )
 
 
 def _build_site(

@@ -5,6 +5,13 @@ re-solved by the centralized membership server whenever membership or
 subscriptions change.  This module measures the cost of that model: how
 much of the surviving overlay is disrupted (parents changed) when one
 site departs and the forest is rebuilt from scratch.
+
+:attr:`RebuildReport.disruption_ratio` is the single-departure form of
+the metric the live control plane now records every round
+(:func:`repro.core.incremental.churn_rate`, surfaced as
+``ScenarioReport.mean_disruption``); the rebuild policies of
+:mod:`repro.core.incremental` exist precisely to drive this number
+toward zero.
 """
 
 from __future__ import annotations

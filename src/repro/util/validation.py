@@ -42,3 +42,20 @@ def check_at_least(name: str, value: int, minimum: int) -> int:
     if value < minimum:
         raise ConfigurationError(f"{name} must be >= {minimum}, got {value!r}")
     return value
+
+
+#: Overlay maintenance policies a control plane can run under (lives
+#: here, below both the session and core layers, so every layer can
+#: validate the knob without import cycles; the semantics are documented
+#: in :mod:`repro.core.incremental`).
+REBUILD_POLICIES = ("always", "incremental", "hybrid")
+
+
+def check_rebuild_policy(value: str) -> str:
+    """Require a known rebuild policy; return it for chaining."""
+    if value not in REBUILD_POLICIES:
+        known = ", ".join(REBUILD_POLICIES)
+        raise ConfigurationError(
+            f"unknown rebuild policy {value!r}; expected one of: {known}"
+        )
+    return value

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import OverlayError, SubscriptionError
 from repro.core.incremental import (
+    _has_rejection_record,
     add_subscription,
     churn_rate,
     remove_subscription,
@@ -187,3 +188,140 @@ class TestChurnRate:
         b = RandomJoinBuilder().build(problem, RngStream(3))
         b.forest.satisfied.clear()
         assert churn_rate(a, b) == 0.0
+
+    def test_empty_forests_zero(self):
+        """Both builds empty: nothing in common, churn is 0 (not NaN)."""
+        problem = ForestProblem.from_tables(
+            cost=complete_cost(2, off_diagonal=99.0),
+            inbound={0: 5, 1: 5},
+            outbound={0: 5, 1: 5},
+            group_members={StreamId(0, 0): {1}},
+            latency_bound_ms=10.0,  # everything latency-infeasible
+        )
+        a = RandomJoinBuilder().build(problem, RngStream(1))
+        b = RandomJoinBuilder().build(problem, RngStream(2))
+        assert not a.satisfied and not b.satisfied
+        assert churn_rate(a, b) == 0.0
+
+    def test_single_tree_moved_parent_counted(self):
+        """One common request whose parent differs: churn is exactly 1."""
+        problem = roomy_problem()
+        a = RandomJoinBuilder().build(problem, RngStream(3))
+        b = RandomJoinBuilder().build(problem, RngStream(3))
+        request = next(
+            r
+            for r in a.satisfied
+            if a.forest.trees[r.stream].is_leaf(r.subscriber)
+        )
+        tree = b.forest.trees[request.stream]
+        old_parent = tree.parent(request.subscriber)
+        new_parent = next(
+            node
+            for node in tree.members()
+            if node not in (request.subscriber, old_parent)
+            and not _descends(tree, node, request.subscriber)
+        )
+        tree.detach_leaf(request.subscriber)
+        tree.attach(new_parent, request.subscriber,
+                    problem.edge_cost(new_parent, request.subscriber))
+        moved = sum(
+            1
+            for r in b.satisfied
+            if r in a.satisfied
+            and b.forest.trees[r.stream].parent(r.subscriber)
+            != a.forest.trees[r.stream].parent(r.subscriber)
+        )
+        common = sum(1 for r in b.satisfied if r in a.satisfied)
+        assert churn_rate(a, b) == moved / common
+
+
+def _descends(tree, node: int, ancestor: int) -> bool:
+    """True when ``node`` sits in ``ancestor``'s subtree."""
+    current = node
+    while current is not None:
+        if current == ancestor:
+            return True
+        current = tree.parent(current)
+    return False
+
+
+class TestRejectionRecords:
+    def test_has_rejection_record_empty(self, built):
+        built.forest.rejected.clear()
+        ghost = SubscriptionRequest(3, StreamId(1, 0))
+        assert not _has_rejection_record(built, ghost)
+
+    def test_has_rejection_record_matches_exact_request(self, built):
+        ghost = SubscriptionRequest(3, StreamId(1, 0))
+        built.forest.rejected.append(
+            (ghost, RejectionReason.TREE_SATURATED)
+        )
+        assert _has_rejection_record(built, ghost)
+        other = SubscriptionRequest(2, StreamId(1, 0))
+        if not any(r == other for r, _ in built.forest.rejected):
+            assert not _has_rejection_record(built, other)
+
+
+class TestRemoveEdgeCases:
+    def test_remove_from_empty_forest_raises(self, rng):
+        problem = roomy_problem()
+        result = RandomJoinBuilder().build(problem, rng)
+        result.forest.satisfied.clear()
+        result.forest.trees.clear()
+        with pytest.raises(OverlayError):
+            remove_subscription(
+                result, SubscriptionRequest(1, StreamId(0, 0))
+            )
+
+    def test_remove_victim_evicted_request_raises(self, built):
+        """A CO-RJ victim is no longer satisfied; removing it must fail."""
+        victim = next(
+            r
+            for r in built.satisfied
+            if built.forest.trees[r.stream].is_leaf(r.subscriber)
+        )
+        tree = built.forest.trees[victim.stream]
+        parent = tree.detach_leaf(victim.subscriber)
+        built.state.record_detach(tree, parent, victim.subscriber)
+        built.forest.satisfied.remove(victim)
+        built.forest.rejected.append(
+            (victim, RejectionReason.VICTIM_SWAPPED)
+        )
+        with pytest.raises(OverlayError):
+            remove_subscription(built, victim)
+
+    def test_remove_last_leaf_restores_reservation(self, rng):
+        """Detaching the source's only child re-reserves the m-hat slot."""
+        problem = ForestProblem.from_tables(
+            cost=complete_cost(2),
+            inbound={0: 5, 1: 5},
+            outbound={0: 5, 1: 5},
+            group_members={StreamId(0, 0): {1}},
+            latency_bound_ms=10.0,
+        )
+        result = RandomJoinBuilder().build(problem, rng)
+        request = SubscriptionRequest(1, StreamId(0, 0))
+        assert request in result.satisfied
+        assert result.state.m_hat[0] == 0  # released on dissemination
+        remove_subscription(result, request)
+        assert not result.forest.trees[StreamId(0, 0)].disseminated
+        assert result.state.m_hat[0] == 1  # reservation re-established
+        assert result.state.dout[0] == 0
+
+    def test_remove_invalidates_u_hat_cache(self, built):
+        """Regression: stale ``u_hat`` caches survived a leave."""
+        built.u_hat_matrix()  # populate the cache
+        leaf = next(
+            r
+            for r in built.satisfied
+            if built.forest.trees[r.stream].is_leaf(r.subscriber)
+        )
+        remove_subscription(built, leaf)
+        assert built._u_hat_cache is None
+        # A rejection recorded after the leave must be visible the next
+        # time the matrix is read (the stale cache would have hidden it).
+        ghost = SubscriptionRequest(leaf.subscriber, leaf.stream)
+        built.forest.rejected.append(
+            (ghost, RejectionReason.TREE_SATURATED)
+        )
+        assert built.u_hat(ghost.subscriber, ghost.source) == 1

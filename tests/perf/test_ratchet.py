@@ -1,0 +1,135 @@
+"""Tests for the CI perf ratchet: pass, fail and missing-baseline paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import RATCHET_THRESHOLD, ratchet_check
+
+
+def timing(best_ms: float) -> dict:
+    return {"label": "t", "repeats": 1, "best_ms": best_ms, "mean_ms": best_ms}
+
+
+def baseline(label: str, build_ms: float, fast_ms: float, sizes=(16, 32)) -> dict:
+    return {
+        "version": 1,
+        "label": label,
+        "config": {},
+        "cases": [
+            {
+                "n_sites": n,
+                "build": timing(build_ms),
+                "fast_plane": timing(fast_ms),
+                "event_plane": None,
+                "scenario_round": None,
+            }
+            for n in sizes
+        ],
+    }
+
+
+class TestRatchetCheck:
+    def test_identical_baselines_pass(self):
+        old = baseline("OLD", 10.0, 1.0)
+        assert ratchet_check(old, baseline("NEW", 10.0, 1.0)) == []
+
+    def test_small_regression_within_threshold_passes(self):
+        old = baseline("OLD", 10.0, 1.0)
+        new = baseline("NEW", 19.0, 1.9)
+        assert ratchet_check(old, new) == []
+
+    def test_build_regression_fails(self):
+        old = baseline("OLD", 10.0, 1.0)
+        new = baseline("NEW", 30.0, 1.0)
+        failures = ratchet_check(old, new)
+        assert len(failures) == 2  # both common sizes regressed
+        assert all("build" in f for f in failures)
+        assert all("3.00x" in f for f in failures)
+
+    def test_fast_plane_regression_fails(self):
+        old = baseline("OLD", 10.0, 1.0)
+        new = baseline("NEW", 10.0, 2.5)
+        failures = ratchet_check(old, new)
+        assert failures and all("fast_plane" in f for f in failures)
+
+    def test_improvement_passes(self):
+        old = baseline("OLD", 10.0, 1.0)
+        assert ratchet_check(old, baseline("NEW", 2.0, 0.2)) == []
+
+    def test_custom_threshold(self):
+        old = baseline("OLD", 10.0, 1.0)
+        new = baseline("NEW", 14.0, 1.0)
+        assert ratchet_check(old, new, threshold=1.2)
+        assert ratchet_check(old, new, threshold=1.5) == []
+        assert RATCHET_THRESHOLD == 2.0
+
+    def test_disjoint_sizes_fail_loudly(self):
+        """No common sweep size must not silently pass."""
+        old = baseline("OLD", 10.0, 1.0, sizes=(16,))
+        new = baseline("NEW", 10.0, 1.0, sizes=(64,))
+        failures = ratchet_check(old, new)
+        assert failures and "no comparable timings" in failures[0]
+
+    def test_gated_metric_missing_on_one_side_fails(self):
+        """A tracked metric vanishing from one baseline must not let the
+        gate rot away silently."""
+        old = baseline("OLD", 10.0, 1.0)
+        new = baseline("NEW", 10.0, 1.0)
+        new["cases"][0]["build"] = None
+        failures = ratchet_check(old, new)
+        assert len(failures) == 1
+        assert "build at N=16: missing from the new baseline" in failures[0]
+
+    def test_metric_absent_from_both_sides_is_not_gated(self):
+        old = baseline("OLD", 10.0, 1.0)
+        new = baseline("NEW", 10.0, 1.0)
+        old["cases"][0]["build"] = None
+        new["cases"][0]["build"] = None
+        assert ratchet_check(old, new) == []
+
+
+class TestRatchetCli:
+    @pytest.fixture
+    def bench_files(self, tmp_path):
+        def write(name: str, payload: dict) -> str:
+            path = tmp_path / name
+            path.write_text(json.dumps(payload))
+            return str(path)
+
+        return write
+
+    def test_cli_pass(self, bench_files, capsys):
+        old = bench_files("old.json", baseline("OLD", 10.0, 1.0))
+        new = bench_files("new.json", baseline("NEW", 11.0, 1.1))
+        assert main(["perf", "compare", old, new, "--ratchet"]) == 0
+        assert "perf ratchet passed" in capsys.readouterr().out
+
+    def test_cli_fail(self, bench_files, capsys):
+        old = bench_files("old.json", baseline("OLD", 10.0, 1.0))
+        new = bench_files("new.json", baseline("NEW", 25.0, 1.0))
+        assert main(["perf", "compare", old, new, "--ratchet"]) == 1
+        assert "perf ratchet FAILED" in capsys.readouterr().err
+
+    def test_cli_missing_baseline(self, bench_files, capsys, tmp_path):
+        new = bench_files("new.json", baseline("NEW", 10.0, 1.0))
+        missing = str(tmp_path / "nonexistent.json")
+        assert main(["perf", "compare", missing, new, "--ratchet"]) == 1
+        assert "missing baseline" in capsys.readouterr().err
+
+    def test_cli_threshold_flag(self, bench_files, capsys):
+        old = bench_files("old.json", baseline("OLD", 10.0, 1.0))
+        new = bench_files("new.json", baseline("NEW", 14.0, 1.0))
+        assert main(
+            ["perf", "compare", old, new, "--ratchet", "--threshold", "1.2"]
+        ) == 1
+        capsys.readouterr()
+        assert main(["perf", "compare", old, new, "--ratchet"]) == 0
+
+    def test_cli_without_ratchet_never_gates(self, bench_files, capsys):
+        old = bench_files("old.json", baseline("OLD", 10.0, 1.0))
+        new = bench_files("new.json", baseline("NEW", 99.0, 9.0))
+        assert main(["perf", "compare", old, new]) == 0

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
+from repro.core.incremental import overlay_cost
 from repro.core.randomized import RandomJoinBuilder
 from repro.pubsub.membership import MembershipServer
 from repro.pubsub.messages import Advertisement, SiteSubscription
 from repro.session.streams import StreamId
+from repro.util.rng import RngStream
 
 
 @pytest.fixture
@@ -76,3 +78,97 @@ class TestBuildOverlay:
         assert received == {StreamId(1, 0), StreamId(2, 0)}
         assert server.last_result is not None
         assert not server.last_result.rejected
+
+
+class TestRebuildPolicy:
+    def make_server(self, session, policy: str) -> MembershipServer:
+        return MembershipServer(
+            session=session,
+            builder=RandomJoinBuilder(),
+            latency_bound_ms=150.0,
+            rebuild_policy=policy,
+        )
+
+    def subscribe(self, server, session, sites=(0, 1)) -> None:
+        advertise_all(server, session)
+        for site in sites:
+            other = (site + 1) % session.n_sites
+            server.register_subscription(
+                SiteSubscription(
+                    site=site,
+                    streams=tuple(sorted(session.site(other).stream_ids))[:2],
+                )
+            )
+
+    def test_unknown_policy_rejected(self, small_session):
+        with pytest.raises(ConfigurationError):
+            self.make_server(small_session, "sometimes")
+
+    def test_negative_drift_budget_rejected(self, small_session):
+        with pytest.raises(ConfigurationError):
+            MembershipServer(
+                session=small_session,
+                builder=RandomJoinBuilder(),
+                rebuild_policy="hybrid",
+                drift_budget=-0.5,
+            )
+
+    def test_policy_defaults_to_session(self, small_session):
+        small_session.rebuild_policy = "incremental"
+        server = MembershipServer(
+            session=small_session, builder=RandomJoinBuilder()
+        )
+        assert server.rebuild_policy == "incremental"
+
+    def test_always_policy_only_rebuilds(self, small_session):
+        server = self.make_server(small_session, "always")
+        self.subscribe(server, small_session)
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        server.build_overlay(rng.spawn("r2"))
+        assert (server.repairs, server.rebuilds) == (0, 2)
+        assert server.last_mode == "rebuild"
+
+    def test_incremental_repairs_after_bootstrap(self, small_session):
+        server = self.make_server(small_session, "incremental")
+        self.subscribe(server, small_session)
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        assert server.last_mode == "rebuild"  # nothing to repair yet
+        assert server.last_disruption is None
+        server.build_overlay(rng.spawn("r2"))
+        assert server.last_mode == "repair"
+        assert server.last_disruption == 0.0  # unchanged workload
+        assert (server.repairs, server.rebuilds) == (1, 1)
+
+    def test_withdrawn_site_is_repaired_out(self, small_session):
+        server = self.make_server(small_session, "incremental")
+        self.subscribe(server, small_session, sites=(0, 1, 2))
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        server.withdraw_site(2)
+        directive = server.build_overlay(rng.spawn("r2"))
+        assert server.last_mode == "repair"
+        assert all(
+            2 not in (parent, child)
+            for _, parent, child in directive.edges
+        )
+
+    def test_hybrid_stays_within_drift_budget(self, small_session):
+        """The adopted forest costs at most (1+budget)x the exact scratch
+        solution the server itself computed (reconstructed via the
+        label-derived RNG stream)."""
+        server = self.make_server(small_session, "hybrid")
+        self.subscribe(server, small_session, sites=(0, 1, 2, 3))
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        server.withdraw_site(3)
+        server.build_overlay(rng.spawn("r2"))
+        adopted = server.last_result
+        scratch = server.builder.build(
+            adopted.problem, RngStream(5, label="t").spawn("r2").spawn("scratch")
+        )
+        assert overlay_cost(adopted) <= overlay_cost(scratch) * (
+            1.0 + server.drift_budget
+        ) + 1e-9
+        assert len(adopted.rejected) <= len(scratch.rejected)

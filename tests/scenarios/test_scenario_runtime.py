@@ -116,6 +116,37 @@ class TestRun:
         assert "leave=1" in summary
 
 
+class TestRebuildPolicy:
+    def test_default_policy_always_rebuilds(self):
+        report = run_scenario(tiny_spec())
+        assert report.rebuild_policy == "always"
+        assert report.repairs == 0
+        assert report.rebuilds == report.rounds
+
+    def test_incremental_policy_repairs_after_bootstrap(self):
+        report = run_scenario(tiny_spec(rebuild_policy="incremental"))
+        assert report.ok, report.summary()
+        assert report.rebuild_policy == "incremental"
+        assert report.repairs + report.rebuilds == report.rounds
+        assert report.repairs >= 1
+
+    def test_disruption_counts_all_but_bootstrap(self):
+        report = run_scenario(tiny_spec())
+        assert report.disruption_rounds == report.rounds - 1
+        assert report.mean_disruption >= 0.0
+
+    def test_summary_mentions_maintenance(self):
+        report = run_scenario(tiny_spec(rebuild_policy="hybrid"))
+        summary = report.summary()
+        assert "overlay maintenance [hybrid]" in summary
+        assert "mean disruption" in summary
+
+    def test_policy_threaded_into_server_and_session(self):
+        runtime = ScenarioRuntime(tiny_spec(rebuild_policy="incremental"))
+        assert runtime.server.rebuild_policy == "incremental"
+        assert runtime.session.rebuild_policy == "incremental"
+
+
 class TestEpochs:
     def test_epochs_monotonic_across_rejoin(self):
         """A site that fails and rejoins accepts the newer directive."""

@@ -101,6 +101,54 @@ class TestScenarioParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenario"])
 
+    def test_rebuild_policy_default_none(self):
+        args = build_parser().parse_args(["scenario", "run", "mass-leave"])
+        assert args.rebuild_policy is None
+
+    def test_rebuild_policy_choices(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "mass-leave", "--rebuild-policy", "incremental"]
+        )
+        assert args.rebuild_policy == "incremental"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "run", "mass-leave", "--rebuild-policy", "never"]
+            )
+
+
+class TestDisruptionParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["disruption"])
+        assert args.command == "disruption"
+        assert args.scenario == "mixed-churn"
+        assert args.sizes == "8,16,32"
+        assert args.seed == 7
+        assert not args.audit
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["disruption", "--scenario", "mass-leave", "--sizes", "4,6",
+             "--seed", "3", "--audit", "--no-plot"]
+        )
+        assert args.scenario == "mass-leave"
+        assert args.sizes == "4,6"
+        assert args.audit and args.no_plot
+
+
+class TestPerfCompareParser:
+    def test_ratchet_defaults(self):
+        args = build_parser().parse_args(["perf", "compare", "a.json", "b.json"])
+        assert not args.ratchet
+        assert args.threshold == 2.0
+
+    def test_ratchet_options(self):
+        args = build_parser().parse_args(
+            ["perf", "compare", "a.json", "b.json", "--ratchet",
+             "--threshold", "1.5"]
+        )
+        assert args.ratchet
+        assert args.threshold == 1.5
+
 
 class TestScenarioCommands:
     def test_list_prints_all(self, capsys):
@@ -122,3 +170,30 @@ class TestScenarioCommands:
         assert code == 0
         assert "0 violations" in out
         assert "digest" in out
+
+    def test_run_with_rebuild_policy(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["scenario", "run", "mass-leave", "--sites", "4", "--seed", "2",
+             "--rebuild-policy", "incremental"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overlay maintenance [incremental]" in out
+        assert "0 violations" in out
+
+
+class TestDisruptionCommand:
+    def test_sweep_prints_policy_series(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["disruption", "--scenario", "mass-leave", "--sizes", "4,5",
+             "--seed", "3", "--no-plot"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "always" in out
+        assert "incremental" in out
+        assert "hybrid" in out
