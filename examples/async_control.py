@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The event-driven control plane: overlapping rounds, mid-build joins.
+
+The paper's centralized membership server is synchronous — advertise,
+aggregate, build and install in one call — so control traffic has no
+latency and a site can never join while a build is in flight.  This
+example replays the same flash-crowd join burst through the
+event-driven :class:`~repro.pubsub.service.MembershipService` at
+several control-link delays and debounce windows, showing
+
+* the zero-delay run is the *degenerate case*: exactly the synchronous
+  round sequence (same directives, bit for bit);
+* with real delay, rounds overlap (joins land while the previous
+  directive is still propagating) yet the invariant auditor stays
+  clean on every installed epoch;
+* the debounce window trades convergence latency for round count —
+  burst churn coalesces into fewer, larger rebuilds.
+
+CLI equivalents::
+
+    tele3d scenario run flash-crowd --sites 8 --control-delay-ms 50 --debounce-ms 15
+    tele3d convergence --scenario flash-crowd --delays 0,20,50,100
+
+Run:  python examples/async_control.py
+"""
+
+from dataclasses import replace
+
+from repro.scenarios import ScenarioRuntime, get_scenario
+from repro.util import Table
+
+SITES = 8
+SEED = 7
+
+
+def main() -> None:
+    base = get_scenario("flash-crowd", sites=SITES, seed=SEED)
+
+    sync_rt = ScenarioRuntime(base)
+    sync_rt.run()
+    zero_rt = ScenarioRuntime(replace(base, async_control=True))
+    zero_rt.run()
+    print(
+        "zero-delay async == synchronous path: "
+        f"{sync_rt.directives == zero_rt.directives} "
+        f"({len(sync_rt.directives)} directives compared bit-for-bit)\n"
+    )
+
+    table = Table(
+        [
+            "delay ms",
+            "debounce ms",
+            "rounds",
+            "overlapping",
+            "mean conv ms",
+            "max conv ms",
+            "violations",
+        ],
+        title=f"flash-crowd (N={SITES}) through the event-driven service",
+    )
+    for delay, debounce in ((0.0, 0.0), (20.0, 10.0), (50.0, 15.0),
+                            (50.0, 120.0), (100.0, 10.0)):
+        spec = replace(
+            base,
+            async_control=True,
+            control_delay_ms=delay,
+            debounce_ms=debounce,
+        )
+        report = ScenarioRuntime(spec).run()
+        table.add_row(
+            [
+                f"{delay:.0f}",
+                f"{debounce:.0f}",
+                report.rounds,
+                report.overlapping_rounds,
+                f"{report.mean_convergence_ms:.0f}",
+                f"{report.max_convergence_ms:.0f}",
+                len(report.audit.violations),
+            ]
+        )
+    print(table.render())
+    print(
+        "\nOverlapping rounds are the regime the synchronous model cannot"
+        "\nexpress: a join arrived while the previous directive was still"
+        "\npropagating.  Widening the debounce window coalesces the burst"
+        "\ninto fewer rounds at the price of convergence latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

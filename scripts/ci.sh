@@ -25,6 +25,11 @@ python -m repro.cli scenario run flash-crowd --sites 6 --seed 7 --audit --strict
 
 if [[ "${1:-}" == "--full" ]]; then
     echo
+    echo "== audited async-control scenario (mid-build joins under delay) =="
+    python -m repro.cli scenario run flash-crowd --sites 8 --seed 7 \
+        --control-delay-ms 50 --debounce-ms 15 --audit --strict
+
+    echo
     echo "== perf smoke (fast plane must beat the event-driven plane) =="
     python -m repro.cli perf smoke --sites 12
 

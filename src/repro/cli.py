@@ -14,7 +14,9 @@ and runs audited stress scenarios against the control plane::
     tele3d scenario list
     tele3d scenario run flash-crowd --sites 8 --audit --dataplane
     tele3d scenario run mixed-churn --rebuild-policy incremental
+    tele3d scenario run flash-crowd --async-control --control-delay-ms 50
     tele3d disruption --scenario mixed-churn --sizes 8,16,32
+    tele3d convergence --scenario flash-crowd --delays 0,20,50,100
 
 and the tracked performance baseline::
 
@@ -122,6 +124,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "from scratch (always), repair the surviving "
                                "forest (incremental), or repair under a "
                                "drift budget (hybrid)")
+    scen_run.add_argument("--async-control", action="store_true",
+                          help="replay the schedule through the event-driven "
+                               "membership service (delayed control links, "
+                               "debounced overlapping rounds) instead of one "
+                               "synchronous round per event")
+    scen_run.add_argument("--control-delay-ms", type=float, default=None,
+                          help="one-way control-link propagation delay "
+                               "(implies --async-control; default 0)")
+    scen_run.add_argument("--debounce-ms", type=float, default=None,
+                          help="dirty-state window the service coalesces "
+                               "before each build round (implies "
+                               "--async-control; default 0)")
     scen_sub.add_parser("list", help="list the named scenarios")
 
     pdisr = sub.add_parser(
@@ -136,6 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
     pdisr.add_argument("--audit", action="store_true",
                        help="audit every control round of every run")
     pdisr.add_argument("--no-plot", action="store_true",
+                       help="print the table only, skip the ASCII plot")
+
+    pconv = sub.add_parser(
+        "convergence",
+        help="sweep control-convergence latency vs control-link delay "
+             "(event-driven control plane)",
+    )
+    pconv.add_argument("--scenario", default="flash-crowd",
+                       help="named scenario to replay (see 'scenario list')")
+    pconv.add_argument("--delays", default="0,20,50,100",
+                       help="comma-separated control_delay_ms values")
+    pconv.add_argument("--sites", type=int, default=8,
+                       help="site-pool size (default 8)")
+    pconv.add_argument("--seed", type=int, default=7, help="root RNG seed")
+    pconv.add_argument("--debounce-ms", type=float, default=10.0,
+                       help="debounce window at every delay point "
+                            "(default 10)")
+    pconv.add_argument("--audit", action="store_true",
+                       help="audit every installed epoch of every run")
+    pconv.add_argument("--no-plot", action="store_true",
                        help="print the table only, skip the ASCII plot")
 
     pperf = sub.add_parser(
@@ -318,6 +352,17 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         spec = replace(spec, algorithm=args.algorithm)
     if args.rebuild_policy:
         spec = replace(spec, rebuild_policy=args.rebuild_policy)
+    if (
+        args.async_control
+        or args.control_delay_ms is not None
+        or args.debounce_ms is not None
+    ):
+        spec = replace(
+            spec,
+            async_control=True,
+            control_delay_ms=args.control_delay_ms or 0.0,
+            debounce_ms=args.debounce_ms or 0.0,
+        )
     report = run_scenario(
         spec, audit=args.audit, strict=args.strict, dataplane=args.dataplane
     )
@@ -341,6 +386,33 @@ def cmd_disruption(args: argparse.Namespace) -> int:
     if not args.no_plot:
         print()
         print(series_plot(result, title, include=list(REBUILD_POLICIES)))
+    return 0
+
+
+def cmd_convergence(args: argparse.Namespace) -> int:
+    """Run the control-convergence-vs-delay sweep and render it."""
+    from repro.experiments.convergence import run_convergence
+
+    delays = tuple(float(part) for part in args.delays.split(",") if part)
+    result = run_convergence(
+        scenario=args.scenario,
+        delays=delays,
+        sites=args.sites,
+        seed=args.seed,
+        debounce_ms=args.debounce_ms,
+        audit=args.audit,
+    )
+    title = (
+        f"Control convergence ({args.scenario}, N={args.sites}): last-ack "
+        f"latency vs control-link delay, debounce {args.debounce_ms:.0f}ms"
+    )
+    print(series_table(result, "delay_ms", title=title))
+    if not args.no_plot:
+        print()
+        print(series_plot(
+            result, title,
+            include=["mean-convergence-ms", "max-convergence-ms"],
+        ))
     return 0
 
 
@@ -433,6 +505,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scorecard": cmd_scorecard,
         "scenario": cmd_scenario,
         "disruption": cmd_disruption,
+        "convergence": cmd_convergence,
         "perf": cmd_perf,
     }
     try:

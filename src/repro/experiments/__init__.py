@@ -9,6 +9,8 @@ One module per paper artifact:
   metric;
 * :mod:`repro.experiments.disruption` — rebuild-policy disruption sweep
   under churn (repair vs re-solve, beyond the paper);
+* :mod:`repro.experiments.convergence` — control-convergence latency vs
+  control-link delay on the event-driven control plane;
 
 plus :mod:`repro.experiments.runner` (sampling machinery shared by all)
 and :mod:`repro.experiments.settings` (the canonical Sec. 5.1 settings).
@@ -16,6 +18,7 @@ and :mod:`repro.experiments.settings` (the canonical Sec. 5.1 settings).
 
 from repro.experiments.settings import ExperimentSetting
 from repro.experiments.runner import SeriesResult, sample_problems, sweep_mean_metric
+from repro.experiments.convergence import run_convergence
 from repro.experiments.disruption import run_disruption
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
@@ -27,6 +30,7 @@ __all__ = [
     "SeriesResult",
     "sample_problems",
     "sweep_mean_metric",
+    "run_convergence",
     "run_disruption",
     "run_fig8",
     "run_fig9",

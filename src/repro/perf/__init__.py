@@ -1,8 +1,10 @@
 """Performance harness: timers, the tracked perf sweep, and baselines.
 
 ``tele3d perf sweep`` times the overlay build, both data planes, and
-scenario control rounds across N, writing ``BENCH_<label>.json`` as the
-repo's tracked performance trajectory; ``tele3d perf compare`` diffs two
+scenario control rounds across N — plus the deterministic simulated
+``control-convergence`` series of the event-driven control plane —
+writing ``BENCH_<label>.json`` as the repo's tracked performance
+trajectory; ``tele3d perf compare`` diffs two
 such baselines (``--ratchet`` turns the diff into a CI gate that fails
 on >2x regressions of the build or fast-plane timings) and ``tele3d
 perf smoke`` asserts the fast plane actually outruns the event-driven

@@ -18,7 +18,7 @@ diff their baselines (``tele3d perf compare OLD NEW``).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.problem import ForestProblem
 from repro.core.registry import make_builder
@@ -43,6 +43,13 @@ DEFAULT_MEAN_SUBSCRIBERS = 6.0
 DEFAULT_DURATION_MS = 1000.0
 DEFAULT_LATENCY_BOUND_MS = 120.0
 
+#: Control-link delay / debounce of the tracked async-control series.
+#: The recorded convergence is *simulated* milliseconds — deterministic
+#: per (scenario, seed, N), so regressions in it are real behavior
+#: changes, not machine noise.
+CONTROL_DELAY_MS = 20.0
+DEBOUNCE_MS = 10.0
+
 
 @dataclass(frozen=True)
 class PerfCase:
@@ -60,6 +67,13 @@ class PerfCase:
     #: Mean control-round latency of the same churn scenario under
     #: ``rebuild_policy="incremental"`` (None when scenarios are skipped).
     scenario_round_incremental: Timing | None = None
+    #: Simulated control-convergence latency (last ack minus trigger) of
+    #: the same scenario through the event-driven service at
+    #: ``CONTROL_DELAY_MS``/``DEBOUNCE_MS``: ``best_ms``/``mean_ms`` are
+    #: the per-round mean, ``repeats`` the converged round count.
+    #: Simulated time, so deterministic per (seed, N) — a gateable
+    #: behavior series, not machine noise.
+    control_convergence: Timing | None = None
 
     @property
     def speedup(self) -> float | None:
@@ -85,6 +99,11 @@ class PerfCase:
             "scenario_round_incremental": (
                 self.scenario_round_incremental.to_dict()
                 if self.scenario_round_incremental
+                else None
+            ),
+            "control_convergence": (
+                self.control_convergence.to_dict()
+                if self.control_convergence
                 else None
             ),
             "frames_delivered": self.frames_delivered,
@@ -132,6 +151,7 @@ class PerfReport:
                 "speedup",
                 "scenario-round ms",
                 "round(incr) ms",
+                "conv ms(sim)",
                 "identical",
             ],
             title=f"perf sweep [{self.label}]",
@@ -157,6 +177,11 @@ class PerfReport:
                     (
                         f"{case.scenario_round_incremental.best_ms:.1f}"
                         if case.scenario_round_incremental
+                        else "-"
+                    ),
+                    (
+                        f"{case.control_convergence.best_ms:.1f}"
+                        if case.control_convergence
                         else "-"
                     ),
                     (
@@ -216,6 +241,33 @@ def _scenario_spec(
         displays_per_site=1,
         fov_size=2,
         rebuild_policy=rebuild_policy,
+    )
+
+
+def _measure_control_convergence(n_sites: int, seed: int) -> Timing:
+    """Simulated convergence latency of the timing scenario, async control.
+
+    Unlike every other series this is *simulated* milliseconds (the
+    event-driven service's last-ack-minus-trigger per round), so the
+    number is deterministic per (seed, N): the ratchet can gate it as a
+    behavior series once it has a committed history.
+    """
+    from repro.scenarios.runtime import ScenarioRuntime
+
+    spec = replace(
+        _scenario_spec(n_sites, seed),
+        async_control=True,
+        control_delay_ms=CONTROL_DELAY_MS,
+        debounce_ms=DEBOUNCE_MS,
+    )
+    report = ScenarioRuntime(spec, audit=False).run()
+    rounds = max(1, report.convergence_rounds)
+    total_s = report.convergence_total_ms / 1000.0
+    return Timing(
+        label=f"control-convergence/N{n_sites}",
+        repeats=rounds,
+        total_s=total_s,
+        best_s=total_s / rounds,
     )
 
 
@@ -296,11 +348,13 @@ def run_perf_case(
 
     scenario_timing: Timing | None = None
     scenario_incremental_timing: Timing | None = None
+    convergence_timing: Timing | None = None
     if with_scenario:
         scenario_timing = _time_scenario_rounds(n_sites, seed, "always")
         scenario_incremental_timing = _time_scenario_rounds(
             n_sites, seed, "incremental"
         )
+        convergence_timing = _measure_control_convergence(n_sites, seed)
 
     return PerfCase(
         n_sites=n_sites,
@@ -313,6 +367,7 @@ def run_perf_case(
         frames_delivered=fast_report.frames_delivered,
         reports_identical=identical,
         scenario_round_incremental=scenario_incremental_timing,
+        control_convergence=convergence_timing,
     )
 
 

@@ -9,26 +9,41 @@ construction problem and dictates to every RP its forwarding table.
 * :mod:`repro.pubsub.messages` — the control message vocabulary;
 * :mod:`repro.pubsub.rp` — the per-site RP agent;
 * :mod:`repro.pubsub.membership` — the centralized membership server;
+* :mod:`repro.pubsub.service` — the event-driven membership service
+  (delayed control links, debounced rounds, async directive push);
 * :mod:`repro.pubsub.system` — the end-to-end façade used by examples
   and the data-plane simulator.
 """
 
 from repro.pubsub.messages import (
+    Advertise,
     Advertisement,
+    ControlEnvelope,
+    DirectiveAck,
     DisplaySubscription,
     OverlayDirective,
     SiteSubscription,
+    Subscribe,
+    Withdraw,
 )
 from repro.pubsub.rp import RPAgent
 from repro.pubsub.membership import MembershipServer
+from repro.pubsub.service import ControlRound, MembershipService
 from repro.pubsub.system import PubSubSystem
 
 __all__ = [
+    "Advertise",
     "Advertisement",
+    "ControlEnvelope",
+    "ControlRound",
+    "DirectiveAck",
     "DisplaySubscription",
     "OverlayDirective",
     "SiteSubscription",
+    "Subscribe",
+    "Withdraw",
     "RPAgent",
     "MembershipServer",
+    "MembershipService",
     "PubSubSystem",
 ]

@@ -55,10 +55,13 @@ class MembershipServer:
     _subscriptions: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
     _epoch: int = 0
     _last_result: BuildResult | None = None
+    _last_edges: tuple | None = None
     _repairs: int = 0
     _rebuilds: int = 0
     _last_disruption: float | None = None
     _last_mode: str | None = None
+    _registrations_applied: int = 0
+    _registrations_skipped: int = 0
 
     def __post_init__(self) -> None:
         if self.rebuild_policy is None:
@@ -76,20 +79,40 @@ class MembershipServer:
 
     # -- registration ------------------------------------------------------------
 
-    def register_advertisement(self, advertisement: Advertisement) -> None:
-        """Record which streams a site publishes."""
+    def register_advertisement(self, advertisement: Advertisement) -> bool:
+        """Record which streams a site publishes.
+
+        Registration is dirty-tracked: re-registering an identical
+        payload is skipped (no re-validation, no state write) and
+        returns False, so control planes that re-report every round pay
+        only for actual changes.
+        """
         self._check_site(advertisement.site)
+        if self._advertised.get(advertisement.site) == advertisement.streams:
+            self._registrations_skipped += 1
+            return False
         for stream in advertisement.streams:
             if stream not in self.session.registry:
                 raise ProtocolError(
                     f"site {advertisement.site} advertises unknown stream {stream}"
                 )
         self._advertised[advertisement.site] = advertisement.streams
+        self._registrations_applied += 1
+        return True
 
-    def register_subscription(self, subscription: SiteSubscription) -> None:
-        """Record a site's aggregated subscription (replaces previous)."""
+    def register_subscription(self, subscription: SiteSubscription) -> bool:
+        """Record a site's aggregated subscription (replaces previous).
+
+        Dirty-tracked like :meth:`register_advertisement`: an unchanged
+        payload is skipped and returns False.
+        """
         self._check_site(subscription.site)
+        if self._subscriptions.get(subscription.site) == subscription.streams:
+            self._registrations_skipped += 1
+            return False
         self._subscriptions[subscription.site] = subscription.streams
+        self._registrations_applied += 1
+        return True
 
     def withdraw_site(self, site: int) -> None:
         """Forget a site's advertisement and subscription (leave/failure).
@@ -106,6 +129,14 @@ class MembershipServer:
     def _check_site(self, site: int) -> None:
         if not 0 <= site < self.session.n_sites:
             raise ProtocolError(f"unknown site {site}")
+
+    def registered_sites(self) -> list[int]:
+        """Sites with a live advertisement or subscription, sorted.
+
+        These are the sites a directive must be pushed to — the
+        event-driven service's install set for each round.
+        """
+        return sorted(set(self._advertised) | set(self._subscriptions))
 
     # -- overlay construction ------------------------------------------------------
 
@@ -164,6 +195,21 @@ class MembershipServer:
         self._epoch += 1
         edges = tuple(sorted(result.forest.edges()))
         rejected = tuple(result.rejected)
+        previous_edges = self._last_edges
+        self._last_edges = edges
+        if mode == "repair" and previous_edges is not None:
+            # Delta directive: the repairer left most of the forest in
+            # place, so ship only the adds/removes against the previous
+            # epoch (the full set rides along for auditing/gap recovery).
+            old_set, new_set = set(previous_edges), set(edges)
+            return OverlayDirective(
+                epoch=self._epoch,
+                edges=edges,
+                rejected=rejected,
+                base_epoch=self._epoch - 1,
+                added=tuple(sorted(new_set - old_set)),
+                removed=tuple(sorted(old_set - new_set)),
+            )
         return OverlayDirective(epoch=self._epoch, edges=edges, rejected=rejected)
 
     def _within_budget(self, repaired: BuildResult, scratch: BuildResult) -> bool:
@@ -199,6 +245,16 @@ class MembershipServer:
     def last_mode(self) -> str | None:
         """``"repair"`` or ``"rebuild"`` for the latest round (None before)."""
         return self._last_mode
+
+    @property
+    def registrations_applied(self) -> int:
+        """Registrations that actually changed server state."""
+        return self._registrations_applied
+
+    @property
+    def registrations_skipped(self) -> int:
+        """Re-registrations skipped because the payload was unchanged."""
+        return self._registrations_skipped
 
     @property
     def last_disruption(self) -> float | None:

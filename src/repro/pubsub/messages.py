@@ -9,6 +9,20 @@ All messages are immutable value objects; the control flow is:
 3. the membership server answers with one :class:`OverlayDirective` per
    round, carrying every tree edge of the constructed forest plus the
    rejected requests.
+
+The synchronous path hands these values around directly.  The
+event-driven path (:mod:`repro.pubsub.service`) wraps the RP-to-server
+half in timestamped *envelopes* — :class:`Advertise`,
+:class:`Subscribe`, :class:`Withdraw`, :class:`DirectiveAck` — each
+carrying its send time and the sender's installed epoch, so control
+messages can propagate over simulated links with per-site delay and the
+server can reason about how stale a report is.
+
+Directives can also be *deltas*: when a round was served by the
+incremental repairer, the directive names the edge adds/removes against
+the previous epoch (``base_epoch``/``added``/``removed``) — the wire
+payload a deployment would ship — while ``edges`` keeps the full
+authoritative set for auditing and for RPs that missed an epoch.
 """
 
 from __future__ import annotations
@@ -59,6 +73,10 @@ class Advertisement:
                 )
 
 
+#: One relay edge on the wire: (stream, parent site, child site).
+Edge = tuple[StreamId, int, int]
+
+
 @dataclass(frozen=True)
 class OverlayDirective:
     """The membership server's answer: the forest, edge by edge.
@@ -68,16 +86,55 @@ class OverlayDirective:
     epoch:
         Monotonic control-round counter.
     edges:
-        All relay edges as (stream, parent site, child site).
+        All relay edges as (stream, parent site, child site).  Always
+        the full authoritative set, even for delta directives — the
+        invariant auditor and gap-recovering RPs consume it.
     rejected:
         Requests the overlay could not satisfy, with reasons.
+    base_epoch:
+        For a delta directive, the epoch the delta applies against
+        (``None`` for a full directive).  Rounds served by the
+        incremental repairer emit deltas; an RP whose installed epoch
+        matches ``base_epoch`` applies ``added``/``removed`` alone,
+        anyone with an epoch gap falls back to ``edges``.
+    added / removed:
+        The edge delta against ``base_epoch`` (empty for full
+        directives).
     """
 
     epoch: int
-    edges: tuple[tuple[StreamId, int, int], ...]
+    edges: tuple[Edge, ...]
     rejected: tuple[tuple[SubscriptionRequest, RejectionReason], ...] = field(
         default_factory=tuple
     )
+    base_epoch: int | None = None
+    added: tuple[Edge, ...] = ()
+    removed: tuple[Edge, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.base_epoch is not None and self.base_epoch >= self.epoch:
+            raise ProtocolError(
+                f"delta base epoch {self.base_epoch} not before epoch "
+                f"{self.epoch}"
+            )
+        if self.base_epoch is None and (self.added or self.removed):
+            raise ProtocolError("edge delta without a base epoch")
+
+    @property
+    def is_delta(self) -> bool:
+        """True when this directive carries an edge delta."""
+        return self.base_epoch is not None
+
+    def payload_edges(self) -> int:
+        """Edges a deployment would actually ship for this directive.
+
+        Deltas ship only the adds/removes; full directives ship the
+        whole forest.  This is the wire-size model the delta path is
+        meant to shrink.
+        """
+        if self.is_delta:
+            return len(self.added) + len(self.removed)
+        return len(self.edges)
 
     def edges_of_site(self, site: int) -> list[tuple[StreamId, int]]:
         """Outgoing forwarding entries of ``site``: (stream, child)."""
@@ -90,3 +147,63 @@ class OverlayDirective:
     def streams_received_by(self, site: int) -> set[StreamId]:
         """Streams that arrive at ``site`` on some tree edge."""
         return {stream for stream, _, child in self.edges if child == site}
+
+
+# -- event-driven control envelopes (repro.pubsub.service) ---------------------------
+
+
+@dataclass(frozen=True)
+class ControlEnvelope:
+    """Common header of every asynchronous control message.
+
+    Attributes
+    ----------
+    sent_ms:
+        Simulation time the sender handed the message to its control
+        link.
+    epoch:
+        The sender's installed directive epoch at send time (-1 before
+        any directive).  On RP-to-server reports it is provenance the
+        wire format carries (how stale a view the report was made
+        under); on a :class:`DirectiveAck` it names the acknowledged
+        epoch and the service validates it against the pending round.
+    """
+
+    sent_ms: float
+    epoch: int
+
+
+@dataclass(frozen=True)
+class Advertise(ControlEnvelope):
+    """An RP pushes its :class:`Advertisement` to the membership service."""
+
+    advertisement: Advertisement
+
+    @property
+    def site(self) -> int:
+        return self.advertisement.site
+
+
+@dataclass(frozen=True)
+class Subscribe(ControlEnvelope):
+    """An RP pushes its aggregated :class:`SiteSubscription`."""
+
+    subscription: SiteSubscription
+
+    @property
+    def site(self) -> int:
+        return self.subscription.site
+
+
+@dataclass(frozen=True)
+class Withdraw(ControlEnvelope):
+    """A site leaves (or is declared failed): forget its state."""
+
+    site: int
+
+
+@dataclass(frozen=True)
+class DirectiveAck(ControlEnvelope):
+    """An RP confirms installation of the directive at ``epoch``."""
+
+    site: int

@@ -75,18 +75,59 @@ class RPAgent:
     # -- overlay directive -----------------------------------------------------------
 
     def apply_directive(self, directive: OverlayDirective) -> None:
-        """Install the forwarding table dictated by the membership server."""
+        """Install the forwarding table dictated by the membership server.
+
+        A delta directive whose ``base_epoch`` matches the installed
+        epoch is applied incrementally — only the added/removed edges
+        touch the tables.  On an epoch gap (this RP missed a round, or
+        never installed one) the full edge set is installed instead.
+        """
         if directive.epoch <= self._epoch:
             raise ProtocolError(
                 f"stale directive epoch {directive.epoch} at site "
                 f"{self.site.index} (current {self._epoch})"
             )
-        forwarding: dict[StreamId, list[int]] = {}
-        for stream, child in directive.edges_of_site(self.site.index):
-            forwarding.setdefault(stream, []).append(child)
-        self._forwarding = forwarding
-        self._receiving = directive.streams_received_by(self.site.index)
+        if directive.is_delta and directive.base_epoch == self._epoch:
+            self._apply_delta(directive)
+        else:
+            forwarding: dict[StreamId, list[int]] = {}
+            for stream, child in directive.edges_of_site(self.site.index):
+                forwarding.setdefault(stream, []).append(child)
+            self._forwarding = forwarding
+            self._receiving = directive.streams_received_by(self.site.index)
         self._epoch = directive.epoch
+
+    def _apply_delta(self, directive: OverlayDirective) -> None:
+        """Patch the installed tables with the directive's edge delta.
+
+        Removals run first so a parent switch (remove + add of the same
+        (stream, child) pair under different parents) nets out to an
+        unchanged receiving set.
+        """
+        me = self.site.index
+        for stream, parent, child in directive.removed:
+            if parent == me:
+                children = self._forwarding.get(stream)
+                if children is None or child not in children:
+                    raise ProtocolError(
+                        f"delta removes unknown edge {stream}:{parent}->"
+                        f"{child} at site {me}"
+                    )
+                children.remove(child)
+                if not children:
+                    del self._forwarding[stream]
+            if child == me:
+                self._receiving.discard(stream)
+        for stream, parent, child in directive.added:
+            if parent == me:
+                children = self._forwarding.setdefault(stream, [])
+                children.append(child)
+                # Keep the child list in the order a full install yields
+                # (edges are dictated sorted), so delta and full paths
+                # produce identical tables.
+                children.sort()
+            if child == me:
+                self._receiving.add(stream)
 
     # -- forwarding-table queries ------------------------------------------------------
 

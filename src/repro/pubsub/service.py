@@ -1,0 +1,394 @@
+"""The event-driven membership service (async control plane).
+
+The paper's centralized membership server is modeled synchronously in
+:class:`~repro.pubsub.membership.MembershipServer`: advertise,
+aggregate, build and install happen in one call, so control traffic has
+no latency, rounds can never overlap, and a site cannot join while a
+build is in flight.  :class:`MembershipService` lifts that same server
+onto the deterministic :class:`~repro.sim.engine.Simulator` as an
+*event-driven* service:
+
+* RPs push timestamped control envelopes (:class:`~repro.pubsub.messages.Advertise`,
+  :class:`~repro.pubsub.messages.Subscribe`,
+  :class:`~repro.pubsub.messages.Withdraw`) over simulated control links
+  with per-site propagation delay;
+* arriving messages mark the membership state *dirty*; the first dirty
+  message opens a **debounce window** (a cancellable
+  :class:`~repro.sim.engine.Timer`), and every further message inside
+  the window coalesces into the same epoch-numbered build round;
+* when the window closes, the service builds the overlay exactly the
+  way the synchronous server does (same builder, same rebuild policy,
+  same ``round-<epoch>`` RNG labels) and *pushes* the resulting
+  :class:`~repro.pubsub.messages.OverlayDirective` to every registered
+  RP, again over the delayed links;
+* each RP acknowledges installation with a
+  :class:`~repro.pubsub.messages.DirectiveAck`; a directive that
+  arrives after the RP already installed a newer epoch is **discarded
+  as stale** (out-of-order delivery under per-site delay skew);
+* per round the service records the **control-convergence latency** —
+  the time from the dirty message that triggered the round to the last
+  acknowledgment — the paper-level metric an interactive 3DTI session
+  actually feels.
+
+With ``control_delay_ms = debounce_ms = 0`` the service degenerates to
+the synchronous model: every event triggers exactly one round at the
+event's own timestamp and directives install instantly, so directives
+are bit-identical to :meth:`PubSubSystem.run_control_round` /
+:class:`~repro.scenarios.runtime.ScenarioRuntime`'s synchronous path
+(the equivalence suite in ``tests/scenarios/test_async_control.py``
+pins this per scenario x seed x builder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.core.base import BuildResult
+from repro.errors import ProtocolError
+from repro.pubsub.membership import MembershipServer
+from repro.pubsub.messages import (
+    Advertise,
+    Advertisement,
+    ControlEnvelope,
+    DirectiveAck,
+    OverlayDirective,
+    SiteSubscription,
+    Subscribe,
+    Withdraw,
+)
+from repro.pubsub.rp import RPAgent
+from repro.sim.engine import Simulator, Timer
+from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.invariants import InvariantAuditor
+
+
+@dataclass
+class ControlRound:
+    """Bookkeeping for one epoch-numbered asynchronous build round."""
+
+    epoch: int
+    #: Arrival time of the dirty message that opened the debounce window.
+    trigger_ms: float
+    #: Time the overlay was actually built (window close).
+    built_ms: float
+    #: ``"repair"`` or ``"rebuild"`` (the server's mode for the round).
+    mode: str
+    #: Sites the directive was pushed to (the server's registered set
+    #: at build time).
+    installed: tuple[int, ...]
+    directive: OverlayDirective
+    result: BuildResult
+    #: Control messages coalesced into this round by the debounce window.
+    coalesced: int = 1
+    #: Ack arrival time per site (stale discards never ack).
+    acked: dict[int, float] = field(default_factory=dict)
+    #: Sites that discarded this round's directive as stale.
+    stale_sites: tuple[int, ...] = ()
+    #: Last-ack-minus-trigger; None while acks are still in flight.
+    convergence_ms: float | None = None
+    _awaiting_install: set[int] = field(default_factory=set, repr=False)
+    _awaiting_ack: set[int] = field(default_factory=set, repr=False)
+
+    @property
+    def converged(self) -> bool:
+        """True once every non-stale site has acknowledged."""
+        return self.convergence_ms is not None
+
+
+class MembershipService:
+    """Event-driven façade over a :class:`MembershipServer`.
+
+    Parameters
+    ----------
+    sim:
+        The simulation clock everything runs on.
+    server:
+        The synchronous server doing the actual overlay construction;
+        the service owns its registration state transitions.
+    rps:
+        Site-indexed RP agents the directives install into.
+    build_rng:
+        Parent stream for per-round build RNGs; round *e* draws from
+        ``build_rng.spawn(f"round-{e}")`` — the same labels the
+        synchronous scenario path uses, which is what makes the
+        zero-delay case bit-identical.
+    control_delay_ms / debounce_ms:
+        One-way link delay and dirty-state coalescing window; ``None``
+        resolves against the session's defaults.
+    site_delays:
+        Optional per-site delay overrides (read at send time, so tests
+        can skew links mid-run to force out-of-order delivery).
+    auditor:
+        Optional invariant auditor; each epoch is audited when its last
+        directive delivery lands, against the sites actually holding
+        that epoch.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: MembershipServer,
+        rps: Mapping[int, RPAgent],
+        build_rng: RngStream,
+        control_delay_ms: float | None = None,
+        debounce_ms: float | None = None,
+        site_delays: Mapping[int, float] | None = None,
+        auditor: "InvariantAuditor | None" = None,
+    ) -> None:
+        session = server.session
+        if control_delay_ms is None:
+            control_delay_ms = session.control_delay_ms
+        if debounce_ms is None:
+            debounce_ms = session.debounce_ms
+        check_non_negative("control_delay_ms", control_delay_ms)
+        check_non_negative("debounce_ms", debounce_ms)
+        self.sim = sim
+        self.server = server
+        self.rps = rps
+        self.build_rng = build_rng
+        self.control_delay_ms = control_delay_ms
+        self.debounce_ms = debounce_ms
+        self.site_delays = site_delays
+        self.auditor = auditor
+        #: Completed build rounds, in epoch order.
+        self.rounds: list[ControlRound] = []
+        #: Directives discarded because the RP was already ahead.
+        self.stale_directives = 0
+        #: Hook invoked right after each round is built (before any
+        #: directive delivery): ``on_round(round)``.
+        self.on_round: Callable[[ControlRound], None] | None = None
+        #: Hook invoked when an epoch finishes installing (last
+        #: delivery landed): ``on_installed(round)``.
+        self.on_installed: Callable[[ControlRound], None] | None = None
+        self._pending: Timer | None = None
+        self._trigger_ms: float | None = None
+        self._coalesced = 0
+
+    # -- site-side transport entry points -----------------------------------------
+
+    def advertise(self, advertisement: Advertisement) -> Advertise:
+        """Send an advertisement over the site's control link."""
+        message = Advertise(
+            sent_ms=self.sim.now,
+            epoch=self._site_epoch(advertisement.site),
+            advertisement=advertisement,
+        )
+        self._send(message)
+        return message
+
+    def subscribe(self, subscription: SiteSubscription) -> Subscribe:
+        """Send an aggregated subscription over the site's control link."""
+        message = Subscribe(
+            sent_ms=self.sim.now,
+            epoch=self._site_epoch(subscription.site),
+            subscription=subscription,
+        )
+        self._send(message)
+        return message
+
+    def withdraw(self, site: int) -> Withdraw:
+        """Send a withdrawal (leave or declared failure) for ``site``."""
+        message = Withdraw(
+            sent_ms=self.sim.now, epoch=self._site_epoch(site), site=site
+        )
+        self._send(message)
+        return message
+
+    def mark_dirty(self) -> None:
+        """Force a build round even without control traffic.
+
+        The bootstrap path of an empty session uses this so the
+        degenerate zero-site round still happens (the synchronous
+        runtime always runs its bootstrap round).
+        """
+        self._mark_dirty()
+
+    # -- message propagation -------------------------------------------------------
+
+    def delay_for(self, site: int) -> float:
+        """One-way control-link delay for ``site`` (read at send time)."""
+        if self.site_delays is not None and site in self.site_delays:
+            return self.site_delays[site]
+        return self.control_delay_ms
+
+    def _site_epoch(self, site: int) -> int:
+        rp = self.rps.get(site)
+        return rp.epoch if rp is not None else -1
+
+    def _send(self, message: ControlEnvelope) -> None:
+        site = message.site  # type: ignore[attr-defined]
+        self.sim.schedule_in(
+            self.delay_for(site), lambda: self._receive(message)
+        )
+
+    def _receive(self, message: ControlEnvelope) -> None:
+        """Server-side arrival of one control envelope."""
+        if isinstance(message, Advertise):
+            self.server.register_advertisement(message.advertisement)
+        elif isinstance(message, Subscribe):
+            self.server.register_subscription(message.subscription)
+        elif isinstance(message, Withdraw):
+            self.server.withdraw_site(message.site)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected control message {message!r}")
+        # Any arrival dirties the round — even a payload the dirty-tracked
+        # registration skipped.  The synchronous model rebuilds on every
+        # report, and randomized builders make "rebuild with unchanged
+        # workload" an observable event, so triggering must not depend on
+        # whether the payload changed.
+        self._mark_dirty()
+
+    # -- debounced build rounds ------------------------------------------------------
+
+    def _mark_dirty(self) -> None:
+        self._coalesced += 1
+        if self._pending is None:
+            self._trigger_ms = self.sim.now
+            self._pending = self.sim.schedule_timer(
+                self.debounce_ms, self._build_round
+            )
+
+    def _build_round(self) -> None:
+        """Close the debounce window: build, then push the directive."""
+        assert self._trigger_ms is not None
+        trigger_ms = self._trigger_ms
+        coalesced = self._coalesced
+        self._pending = None
+        self._trigger_ms = None
+        self._coalesced = 0
+        rng = self.build_rng.spawn(f"round-{self.server.epoch}")
+        directive = self.server.build_overlay(rng)
+        result = self.server.last_result
+        assert result is not None
+        installed = tuple(self.server.registered_sites())
+        round_ = ControlRound(
+            epoch=directive.epoch,
+            trigger_ms=trigger_ms,
+            built_ms=self.sim.now,
+            mode=self.server.last_mode or "rebuild",
+            installed=installed,
+            directive=directive,
+            result=result,
+            coalesced=coalesced,
+        )
+        round_._awaiting_install = set(installed)
+        round_._awaiting_ack = set(installed)
+        self.rounds.append(round_)
+        if self.on_round is not None:
+            self.on_round(round_)
+        if not installed:
+            # Nothing to install: the round converges at build time.
+            round_.convergence_ms = self.sim.now - trigger_ms
+            self._finish_install(round_)
+            return
+        for site in installed:
+            self.sim.schedule_in(
+                self.delay_for(site),
+                lambda site=site: self._deliver(site, round_),
+            )
+
+    # -- directive installation ------------------------------------------------------
+
+    def _deliver(self, site: int, round_: ControlRound) -> None:
+        """One directive lands at one RP (apply, ack — or discard)."""
+        rp = self.rps[site]
+        directive = round_.directive
+        if rp.epoch >= directive.epoch:
+            # Out-of-order delivery: the RP already installed a newer
+            # epoch, so this directive is stale and must not roll the
+            # site back.  The round stops waiting on this site.
+            self.stale_directives += 1
+            round_.stale_sites = round_.stale_sites + (site,)
+            round_._awaiting_ack.discard(site)
+            self._check_converged(round_)
+        else:
+            rp.apply_directive(directive)
+            ack = DirectiveAck(
+                sent_ms=self.sim.now, epoch=directive.epoch, site=site
+            )
+            self.sim.schedule_in(
+                self.delay_for(site), lambda: self._receive_ack(ack, round_)
+            )
+        round_._awaiting_install.discard(site)
+        if not round_._awaiting_install:
+            self._finish_install(round_)
+
+    def _receive_ack(self, ack: DirectiveAck, round_: ControlRound) -> None:
+        if ack.epoch != round_.epoch:
+            raise ProtocolError(
+                f"ack for epoch {ack.epoch} routed to round {round_.epoch}"
+            )
+        round_.acked[ack.site] = self.sim.now
+        round_._awaiting_ack.discard(ack.site)
+        self._check_converged(round_)
+
+    def _check_converged(self, round_: ControlRound) -> None:
+        if round_.convergence_ms is None and not round_._awaiting_ack:
+            round_.convergence_ms = self.sim.now - round_.trigger_ms
+
+    def _finish_install(self, round_: ControlRound) -> None:
+        """All deliveries for the epoch landed: audit the installed state."""
+        if self.auditor is not None:
+            # Audit the epoch against the sites actually holding it;
+            # under delay skew a fast site may already be ahead (it will
+            # be audited at its own epoch's completion instead).
+            holding = {
+                site: self.rps[site]
+                for site in round_.installed
+                if self.rps[site].epoch == round_.epoch
+            }
+            self.auditor.audit_round(
+                round_.result,
+                round_.directive,
+                holding,
+                holding.keys(),
+                event=f"epoch-{round_.epoch}",
+                time_ms=self.sim.now,
+            )
+        if self.on_installed is not None:
+            self.on_installed(round_)
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def pending_build(self) -> bool:
+        """True while a debounce window is open."""
+        return self._pending is not None
+
+    def converged_rounds(self) -> list[ControlRound]:
+        """Rounds whose last ack has arrived."""
+        return [round_ for round_ in self.rounds if round_.converged]
+
+    def mean_convergence_ms(self) -> float:
+        """Mean control-convergence latency over converged rounds."""
+        converged = self.converged_rounds()
+        if not converged:
+            return 0.0
+        return sum(r.convergence_ms for r in converged) / len(converged)
+
+    def max_convergence_ms(self) -> float:
+        """Worst-case control-convergence latency over converged rounds."""
+        converged = self.converged_rounds()
+        if not converged:
+            return 0.0
+        return max(r.convergence_ms for r in converged)
+
+    def overlapping_rounds(self) -> int:
+        """Rounds triggered while the previous round was still converging.
+
+        This is the regime the synchronous model cannot express: a new
+        dirty window opened (e.g. a site joined) before the previous
+        epoch settled (last ack or stale discard) — a
+        *mid-build/mid-install* overlap.
+        """
+        overlaps = 0
+        for previous, current in zip(self.rounds, self.rounds[1:]):
+            if previous.convergence_ms is None:
+                overlaps += 1  # predecessor never settled at all
+            elif current.trigger_ms < previous.trigger_ms + previous.convergence_ms:
+                overlaps += 1
+        return overlaps

@@ -5,6 +5,14 @@ site to a :class:`~repro.pubsub.membership.MembershipServer` and runs
 complete control rounds.  Display subscriptions can be given either as
 explicit stream sets or as geometric FOVs resolved through the ViewCast
 selector — the two subscription forms of Sec. 3.2.
+
+Rounds are synchronous here (the paper's model);
+:meth:`PubSubSystem.async_service` lifts the same server and RPs onto a
+simulator as an event-driven :class:`~repro.pubsub.service.MembershipService`
+when control latency, debouncing and overlapping rounds matter.
+Registration is dirty-tracked server-side, so the per-round full
+re-report below only costs on sites whose state actually changed
+(see ``MembershipServer.registrations_applied`` / ``_skipped``).
 """
 
 from __future__ import annotations
@@ -98,6 +106,37 @@ class PubSubSystem:
         for rp in self.rps.values():
             rp.apply_directive(directive)
         return directive
+
+    # -- event-driven control ----------------------------------------------------------
+
+    def async_service(
+        self,
+        sim,
+        build_rng: RngStream,
+        control_delay_ms: float | None = None,
+        debounce_ms: float | None = None,
+        site_delays: dict[int, float] | None = None,
+        auditor=None,
+    ):
+        """Attach this system's server and RPs to an event-driven service.
+
+        Returns a :class:`~repro.pubsub.service.MembershipService` on
+        ``sim``; delay/debounce default to the session's knobs.  The
+        synchronous :meth:`run_control_round` and the service share one
+        server, so don't interleave the two control styles in one run.
+        """
+        from repro.pubsub.service import MembershipService
+
+        return MembershipService(
+            sim=sim,
+            server=self.server,
+            rps=self.rps,
+            build_rng=build_rng,
+            control_delay_ms=control_delay_ms,
+            debounce_ms=debounce_ms,
+            site_delays=site_delays,
+            auditor=auditor,
+        )
 
     # -- inspection --------------------------------------------------------------------
 

@@ -10,6 +10,13 @@ comparable bit-for-bit across machines::
 
     report = run_scenario(get_scenario("flash-crowd", sites=8, seed=7))
     assert report.ok, report.summary()
+
+Specs with ``async_control=True`` (plus ``control_delay_ms`` /
+``debounce_ms``) replay the same schedule through the event-driven
+:class:`~repro.pubsub.service.MembershipService` instead of one
+synchronous round per event — overlapping rounds, mid-build joins and
+per-round control-convergence latency, still on one deterministic
+clock.
 """
 
 from repro.scenarios.library import get_scenario, scenario_names

@@ -10,6 +10,16 @@ advertise, aggregate, build, install.  With auditing enabled, the
 :class:`~repro.sim.invariants.InvariantAuditor` re-derives every
 structural invariant after each round, so a whole randomized session
 becomes one large property check.
+
+With ``spec.async_control`` the same schedule is replayed through the
+event-driven :class:`~repro.pubsub.service.MembershipService` on the
+same simulator clock: events *send* control envelopes over delayed
+links instead of calling the server, the service debounces them into
+epoch-numbered rounds, and directives propagate back asynchronously —
+so rounds overlap, sites join mid-build, and the report gains per-round
+control-convergence latency.  With zero delay and debounce the async
+path is bit-identical to the synchronous one (both draw the same RNG
+streams in the same order); the equivalence suite pins that.
 """
 
 from __future__ import annotations
@@ -18,8 +28,9 @@ from dataclasses import dataclass, field
 
 from repro.core.registry import make_builder
 from repro.pubsub.membership import MembershipServer
-from repro.pubsub.messages import DisplaySubscription
+from repro.pubsub.messages import DisplaySubscription, OverlayDirective
 from repro.pubsub.rp import RPAgent
+from repro.pubsub.service import ControlRound, MembershipService
 from repro.scenarios.spec import EventKind, ScenarioEvent, ScenarioSpec
 from repro.session.capacity import HeterogeneousCapacityModel, UniformCapacityModel
 from repro.session.session import SessionConfig, TISession, build_session
@@ -60,6 +71,20 @@ class ScenarioReport:
     dataplane_total_latency_ms: float = 0.0
     dataplane_max_latency_ms: float = 0.0
     dataplane_bound_violations: int = 0
+    #: Event-driven control-plane results (meaningful only when the
+    #: spec ran with ``async_control``).
+    async_control: bool = False
+    control_delay_ms: float = 0.0
+    debounce_ms: float = 0.0
+    convergence_total_ms: float = 0.0
+    convergence_rounds: int = 0
+    max_convergence_ms: float = 0.0
+    #: Directives discarded because the RP had already installed a
+    #: newer epoch (out-of-order delivery under delay skew).
+    stale_directives: int = 0
+    #: Rounds whose dirty window opened while the previous round was
+    #: still propagating/acking — the overlap the sync model forbids.
+    overlapping_rounds: int = 0
 
     @property
     def rejection_ratio(self) -> float:
@@ -83,6 +108,13 @@ class ScenarioReport:
         return self.disruption_total / self.disruption_rounds
 
     @property
+    def mean_convergence_ms(self) -> float:
+        """Mean control-convergence latency (last ack minus trigger)."""
+        if self.convergence_rounds == 0:
+            return 0.0
+        return self.convergence_total_ms / self.convergence_rounds
+
+    @property
     def ok(self) -> bool:
         """True when auditing was off or found nothing."""
         return self.audit is None or self.audit.ok
@@ -102,6 +134,15 @@ class ScenarioReport:
             f"repairs, {self.rebuilds} rebuilds, mean disruption "
             f"{self.mean_disruption:.3f}",
         ]
+        if self.async_control:
+            lines.append(
+                f"async control [delay {self.control_delay_ms:.0f}ms, "
+                f"debounce {self.debounce_ms:.0f}ms]: convergence mean "
+                f"{self.mean_convergence_ms:.1f}ms / max "
+                f"{self.max_convergence_ms:.1f}ms, "
+                f"{self.overlapping_rounds} overlapping rounds, "
+                f"{self.stale_directives} stale directives discarded"
+            )
         if self.dataplane_frames_delivered:
             lines.append(
                 f"data plane: {self.dataplane_frames_delivered} deliveries, "
@@ -171,6 +212,21 @@ class ScenarioRuntime:
         self._build_rng = self.rng.spawn("build")
         self._workload_rng = self.rng.spawn("workload")
         self._target_rng = self.rng.spawn("targets")
+        #: Every directive the control plane emitted, in epoch order
+        #: (the equivalence suite compares these across control styles).
+        self.directives: list[OverlayDirective] = []
+        self.service: MembershipService | None = None
+        if spec.async_control:
+            self.service = MembershipService(
+                sim=self.sim,
+                server=self.server,
+                rps=self.rps,
+                build_rng=self._build_rng,
+                control_delay_ms=spec.control_delay_ms,
+                debounce_ms=spec.debounce_ms,
+                auditor=self.auditor,
+            )
+            self.service.on_round = self._record_async_round
 
     @staticmethod
     def _build_session(spec: ScenarioSpec) -> TISession:
@@ -190,6 +246,8 @@ class ScenarioRuntime:
                 n_sites=spec.n_sites,
                 displays_per_site=spec.displays_per_site,
                 rebuild_policy=spec.rebuild_policy,
+                control_delay_ms=spec.control_delay_ms,
+                debounce_ms=spec.debounce_ms,
             ),
         )
 
@@ -200,15 +258,31 @@ class ScenarioRuntime:
         self.active.update(range(self.spec.initial_active))
         for site in sorted(self.active):
             self._subscribe_displays(site)
-        self._control_round("bootstrap")
+        if self.service is None:
+            self._control_round("bootstrap")
+        else:
+            # Bootstrap asynchronously: the initial sites' reports travel
+            # the control links like any other traffic.  An empty session
+            # still gets its (empty) bootstrap round, as the sync path does.
+            for site in sorted(self.active):
+                self._announce(site)
+            if not self.active:
+                self.service.mark_dirty()
         for event in self.spec.compile(self.rng.spawn("schedule")):
             self.sim.schedule_at(
                 event.time_ms, lambda event=event: self._execute(event)
             )
         self.sim.run(until_ms=self.spec.duration_ms)
+        if self.service is not None:
+            # Drain in-flight control traffic (builds, directives, acks
+            # scheduled before the horizon but landing after it) so every
+            # triggered round installs and reports its convergence.
+            self.sim.run()
         self.report.final_active = len(self.active)
         self.report.repairs = self.server.repairs
         self.report.rebuilds = self.server.rebuilds
+        if self.service is not None:
+            self._finalize_async_report()
         if self.auditor is not None:
             self.report.audit = self.auditor.report()
         return self.report
@@ -216,7 +290,7 @@ class ScenarioRuntime:
     # -- event execution ----------------------------------------------------------
 
     def _execute(self, event: ScenarioEvent) -> None:
-        """Apply one scheduled event, then re-solve the overlay."""
+        """Apply one scheduled event, then re-solve (or dirty) the overlay."""
         kind = event.kind
         if kind is EventKind.JOIN:
             candidates = sorted(set(range(self.spec.n_sites)) - self.active)
@@ -234,26 +308,42 @@ class ScenarioRuntime:
             self._deactivate(site, graceful=False)
         elif kind is EventKind.FOV_CHANGE:
             self._subscribe_displays(site)
+            if self.service is not None:
+                self.service.subscribe(self.rps[site].aggregate_subscription())
         self.report.events[kind.value] = self.report.events.get(kind.value, 0) + 1
-        self._control_round(f"{kind.value}:{site}")
+        if self.service is None:
+            self._control_round(f"{kind.value}:{site}")
 
     def _activate(self, site: int) -> None:
         self.active.add(site)
         self._subscribe_displays(site)
+        if self.service is not None:
+            self._announce(site)
 
     def _deactivate(self, site: int, graceful: bool) -> None:
         """Remove a site; a graceful leave also clears its local RP state.
 
         An abrupt failure leaves the RP's display subscriptions and stale
         forwarding table in place — only the server forgets the site, as
-        it would after missing heartbeats.
+        it would after missing heartbeats.  Under async control the
+        withdrawal travels the control link like any other message.
         """
         self.active.discard(site)
-        self.server.withdraw_site(site)
+        if self.service is not None:
+            self.service.withdraw(site)
+        else:
+            self.server.withdraw_site(site)
         if graceful:
             rp = self.rps[site]
             for display in rp.site.displays:
                 rp.clear_display_subscription(display.display_id)
+
+    def _announce(self, site: int) -> None:
+        """Push a site's advertisement + aggregated subscription (async)."""
+        assert self.service is not None
+        rp = self.rps[site]
+        self.service.advertise(rp.advertisement())
+        self.service.subscribe(rp.aggregate_subscription())
 
     def _subscribe_displays(self, site: int) -> None:
         """(Re-)draw every display subscription of ``site``.
@@ -282,7 +372,7 @@ class ScenarioRuntime:
             )
 
     def _control_round(self, label: str) -> None:
-        """Advertise, aggregate, build, install — then audit."""
+        """Advertise, aggregate, build, install — then audit (sync path)."""
         for site in sorted(self.active):
             rp = self.rps[site]
             self.server.register_advertisement(rp.advertisement())
@@ -294,15 +384,8 @@ class ScenarioRuntime:
             self.rps[site].apply_directive(directive)
         result = self.server.last_result
         assert result is not None
-        self.report.rounds += 1
-        self.report.requests_total += result.total_requests
-        self.report.rejected_total += len(result.rejected)
-        disruption = self.server.last_disruption
-        if disruption is not None:
-            self.report.disruption_total += disruption
-            self.report.disruption_rounds += 1
-        if self.dataplane:
-            self._measure_dataplane(result)
+        self.directives.append(directive)
+        self._record_round(result)
         if self.auditor is not None:
             self.auditor.audit_round(
                 result,
@@ -312,6 +395,39 @@ class ScenarioRuntime:
                 event=label,
                 time_ms=self.sim.now,
             )
+
+    def _record_async_round(self, round_: ControlRound) -> None:
+        """Service hook: one asynchronous round was just built."""
+        self.directives.append(round_.directive)
+        self._record_round(round_.result)
+
+    def _record_round(self, result) -> None:
+        """Per-round report accounting shared by both control styles."""
+        self.report.rounds += 1
+        self.report.requests_total += result.total_requests
+        self.report.rejected_total += len(result.rejected)
+        disruption = self.server.last_disruption
+        if disruption is not None:
+            self.report.disruption_total += disruption
+            self.report.disruption_rounds += 1
+        if self.dataplane:
+            self._measure_dataplane(result)
+
+    def _finalize_async_report(self) -> None:
+        """Copy the service's convergence/staleness totals into the report."""
+        service = self.service
+        assert service is not None
+        self.report.async_control = True
+        self.report.control_delay_ms = service.control_delay_ms
+        self.report.debounce_ms = service.debounce_ms
+        converged = service.converged_rounds()
+        self.report.convergence_rounds = len(converged)
+        self.report.convergence_total_ms = sum(
+            round_.convergence_ms for round_ in converged
+        )
+        self.report.max_convergence_ms = service.max_convergence_ms()
+        self.report.stale_directives = service.stale_directives
+        self.report.overlapping_rounds = service.overlapping_rounds()
 
 
     def _measure_dataplane(self, result) -> None:

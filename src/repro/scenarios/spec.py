@@ -97,6 +97,15 @@ class ScenarioSpec:
         ``incremental`` (repair the surviving forest) or ``hybrid``
         (repair under a drift budget); see
         :mod:`repro.core.incremental`.
+    async_control:
+        Replay the schedule through the event-driven
+        :class:`~repro.pubsub.service.MembershipService` instead of
+        running one synchronous control round per event.  With both
+        delays zero this is the degenerate case, bit-identical to the
+        synchronous path.
+    control_delay_ms / debounce_ms:
+        One-way control-link propagation delay and the service's
+        dirty-state coalescing window (require ``async_control``).
     nodes:
         Capacity family, ``uniform`` or ``heterogeneous``.
     capacity_base / capacity_jitter / streams_per_site:
@@ -120,6 +129,9 @@ class ScenarioSpec:
     capacity_base: int | None = None
     capacity_jitter: int = 5
     streams_per_site: int | None = None
+    async_control: bool = False
+    control_delay_ms: float = 0.0
+    debounce_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
@@ -143,6 +155,18 @@ class ScenarioSpec:
         if self.capacity_base is not None and self.capacity_base < 1:
             raise ConfigurationError(
                 f"capacity_base must be >= 1, got {self.capacity_base}"
+            )
+        if self.control_delay_ms < 0 or self.debounce_ms < 0:
+            raise ConfigurationError(
+                "control_delay_ms and debounce_ms must be >= 0, got "
+                f"{self.control_delay_ms}/{self.debounce_ms}"
+            )
+        if not self.async_control and (
+            self.control_delay_ms or self.debounce_ms
+        ):
+            raise ConfigurationError(
+                "control_delay_ms/debounce_ms require async_control=True "
+                "(the synchronous path has no control links to delay)"
             )
 
     def compile(self, rng: RngStream) -> list[ScenarioEvent]:
@@ -181,8 +205,14 @@ class ScenarioSpec:
         policy = (
             "" if self.rebuild_policy == "always" else f" policy={self.rebuild_policy}"
         )
+        control = (
+            f" async(delay={self.control_delay_ms:.0f}ms,"
+            f"debounce={self.debounce_ms:.0f}ms)"
+            if self.async_control
+            else ""
+        )
         return (
             f"{self.name}: pool={self.n_sites} start={self.initial_active} "
             f"{self.duration_ms:.0f}ms [{mix or 'static'}] alg={self.algorithm}"
-            f"{policy}"
+            f"{policy}{control}"
         )

@@ -36,6 +36,13 @@ class SessionConfig:
     #: this session ("always" | "incremental" | "hybrid"); see
     #: :mod:`repro.core.incremental`.
     rebuild_policy: str = "always"
+    #: Default one-way control-link propagation delay between each RP
+    #: and the membership service (event-driven control plane only;
+    #: 0 = the synchronous degenerate case).
+    control_delay_ms: float = 0.0
+    #: Default debounce window the membership service coalesces dirty
+    #: control state over before building a round.
+    debounce_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
@@ -45,6 +52,14 @@ class SessionConfig:
                 f"displays_per_site must be >= 1, got {self.displays_per_site}"
             )
         check_rebuild_policy(self.rebuild_policy)
+        if self.control_delay_ms < 0:
+            raise SessionError(
+                f"control_delay_ms must be >= 0, got {self.control_delay_ms}"
+            )
+        if self.debounce_ms < 0:
+            raise SessionError(
+                f"debounce_ms must be >= 0, got {self.debounce_ms}"
+            )
 
 
 @dataclass
@@ -68,10 +83,20 @@ class TISession:
     #: session; :class:`~repro.pubsub.membership.MembershipServer`
     #: resolves its own ``rebuild_policy=None`` against this.
     rebuild_policy: str = "always"
+    #: Default control-link delay / debounce window for the event-driven
+    #: control plane; :class:`~repro.pubsub.service.MembershipService`
+    #: resolves its own ``None`` knobs against these.
+    control_delay_ms: float = 0.0
+    debounce_ms: float = 0.0
     _cost_matrix: dict[int, dict[int, float]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         check_rebuild_policy(self.rebuild_policy)
+        if self.control_delay_ms < 0 or self.debounce_ms < 0:
+            raise SessionError(
+                "control_delay_ms and debounce_ms must be >= 0, got "
+                f"{self.control_delay_ms}/{self.debounce_ms}"
+            )
         seen_pops: set[str] = set()
         for expected, site in enumerate(self.sites):
             if site.index != expected:
@@ -177,6 +202,8 @@ def build_session(
         sites=sites,
         registry=registry,
         rebuild_policy=config.rebuild_policy,
+        control_delay_ms=config.control_delay_ms,
+        debounce_ms=config.debounce_ms,
     )
 
 

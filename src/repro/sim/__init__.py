@@ -6,7 +6,7 @@ network model driven by the session's cost matrix, frame dissemination
 over a constructed forest, and churn/rebuild experiments.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, Timer
 from repro.sim.network import LatencyNetwork
 from repro.sim.dataplane import (
     DataPlaneReport,
@@ -19,6 +19,7 @@ from repro.sim.invariants import AuditReport, InvariantAuditor, Violation
 
 __all__ = [
     "Simulator",
+    "Timer",
     "LatencyNetwork",
     "DataPlaneReport",
     "FastDataPlane",

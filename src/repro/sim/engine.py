@@ -5,6 +5,12 @@ timestamps execute in scheduling order, so runs are reproducible
 regardless of callback content.  The engine is deliberately synchronous
 and single-threaded — 3DTI sessions are small, and determinism is worth
 more than parallelism for reproduction work.
+
+Besides one-shot scheduling, the engine offers :class:`Timer` — a
+cancellable, optionally recurring handle.  The event-driven control
+plane schedules its debounce windows through it (one-shot form);
+recurrence and cancellation are there for periodic control work such as
+heartbeat probing (a ROADMAP follow-on).
 """
 
 from __future__ import annotations
@@ -13,6 +19,50 @@ import heapq
 from typing import Callable
 
 from repro.errors import SimulationError
+
+
+class Timer:
+    """A cancellable (optionally recurring) scheduled callback.
+
+    Obtained from :meth:`Simulator.schedule_timer`.  Cancellation is
+    lazy: the queued event stays in the heap and becomes a no-op when it
+    pops, which keeps the heap free of tombstone bookkeeping while still
+    guaranteeing the callback never runs after :meth:`cancel`.
+    Recurring timers re-arm themselves after each firing until
+    cancelled (including from inside their own callback).
+    """
+
+    __slots__ = ("_sim", "_callback", "interval_ms", "_cancelled", "fired")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        callback: Callable[[], None],
+        interval_ms: float | None = None,
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self.interval_ms = interval_ms
+        self._cancelled = False
+        #: Number of times the callback has actually run.
+        self.fired = 0
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent any further firing (idempotent)."""
+        self._cancelled = True
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        self._callback()
+        if self.interval_ms is not None and not self._cancelled:
+            self._sim.schedule_in(self.interval_ms, self._fire)
 
 
 class Simulator:
@@ -54,6 +104,27 @@ class Simulator:
         if delay_ms < 0:
             raise SimulationError(f"negative delay {delay_ms}")
         self.schedule_at(self._now + delay_ms, callback)
+
+    def schedule_timer(
+        self,
+        delay_ms: float,
+        callback: Callable[[], None],
+        interval_ms: float | None = None,
+    ) -> Timer:
+        """Schedule a cancellable callback; returns its :class:`Timer`.
+
+        With ``interval_ms`` the timer recurs every ``interval_ms``
+        after the first firing at ``delay_ms`` until cancelled; without
+        it the timer is one-shot (but can still be cancelled before it
+        fires).
+        """
+        if interval_ms is not None and interval_ms <= 0:
+            raise SimulationError(
+                f"recurring interval must be positive, got {interval_ms}"
+            )
+        timer = Timer(self, callback, interval_ms=interval_ms)
+        self.schedule_in(delay_ms, timer._fire)
+        return timer
 
     def run(self, until_ms: float | None = None, max_events: int = 10_000_000) -> int:
         """Drain the queue; returns the number of events executed.

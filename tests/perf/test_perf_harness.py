@@ -60,6 +60,24 @@ class TestPerfCase:
         assert case.build.best_s > 0
         assert case.scenario_round is not None
 
+    def test_control_convergence_is_simulated_and_deterministic(self, case):
+        from repro.perf.sweep import (
+            CONTROL_DELAY_MS,
+            DEBOUNCE_MS,
+            _measure_control_convergence,
+        )
+
+        timing = case.control_convergence
+        assert timing is not None
+        assert timing.repeats >= 1
+        # Simulated latency floors at debounce + one round trip (float
+        # accumulation tolerance only).
+        assert timing.best_ms >= DEBOUNCE_MS + 2 * CONTROL_DELAY_MS - 1e-6
+        # Re-measuring yields the identical number: simulated, not wall.
+        again = _measure_control_convergence(8, 5)
+        assert again.best_ms == timing.best_ms
+        assert again.repeats == timing.repeats
+
     def test_fast_and_event_agree(self, case):
         assert case.reports_identical is True
         assert case.speedup is not None and case.speedup > 0

@@ -56,6 +56,169 @@ class TestRegistration:
         assert workload.streams_of(0) == (StreamId(1, 0),)
 
 
+class TestDirtyTrackedRegistration:
+    """Unchanged re-registrations must be skipped, not re-applied."""
+
+    def test_identical_advertisement_skipped(self, server, small_session):
+        advertisement = Advertisement(
+            site=1, streams=tuple(small_session.site(1).stream_ids)
+        )
+        assert server.register_advertisement(advertisement) is True
+        assert server.register_advertisement(advertisement) is False
+        assert server.registrations_applied == 1
+        assert server.registrations_skipped == 1
+
+    def test_identical_subscription_skipped(self, server):
+        subscription = SiteSubscription(site=0, streams=(StreamId(1, 0),))
+        assert server.register_subscription(subscription) is True
+        assert server.register_subscription(subscription) is False
+        assert server.registrations_applied == 1
+        assert server.registrations_skipped == 1
+
+    def test_changed_subscription_applies(self, server):
+        server.register_subscription(
+            SiteSubscription(site=0, streams=(StreamId(1, 0),))
+        )
+        changed = server.register_subscription(
+            SiteSubscription(site=0, streams=(StreamId(2, 0),))
+        )
+        assert changed is True
+        assert server.registrations_applied == 2
+        assert server.registrations_skipped == 0
+
+    def test_withdraw_makes_reregistration_dirty(self, server, small_session):
+        advertisement = Advertisement(
+            site=1, streams=tuple(small_session.site(1).stream_ids)
+        )
+        server.register_advertisement(advertisement)
+        server.withdraw_site(1)
+        assert server.register_advertisement(advertisement) is True
+        assert server.registrations_applied == 2
+
+    def test_unchanged_rounds_apply_nothing(self, small_session, rng):
+        """System-level regression: round 2 with static state registers 0."""
+        from repro.core.randomized import RandomJoinBuilder
+        from repro.pubsub.system import PubSubSystem
+
+        system = PubSubSystem(
+            session=small_session, builder=RandomJoinBuilder()
+        )
+        streams = list(small_session.site(1).stream_ids)[:2]
+        system.subscribe_display(0, "disp-0-0", streams)
+        system.run_control_round(rng.spawn("r1"))
+        applied_after_first = system.server.registrations_applied
+        system.run_control_round(rng.spawn("r2"))
+        # Every per-site report of round 2 was identical: all skipped.
+        assert system.server.registrations_applied == applied_after_first
+        assert (
+            system.server.registrations_skipped
+            == 2 * small_session.n_sites
+        )
+
+    def test_registered_sites_tracks_withdrawals(self, server, small_session):
+        advertise_all(server, small_session)
+        server.register_subscription(
+            SiteSubscription(site=0, streams=(StreamId(1, 0),))
+        )
+        assert server.registered_sites() == [0, 1, 2, 3]
+        server.withdraw_site(2)
+        assert server.registered_sites() == [0, 1, 3]
+
+
+class TestWithdrawRacingPendingRound:
+    """Satellite: withdraw lands after registration, before the build."""
+
+    def test_forest_excludes_withdrawn_site_and_audits_clean(
+        self, server, small_session, rng
+    ):
+        from repro.sim.invariants import InvariantAuditor
+
+        advertise_all(server, small_session)
+        for site in range(small_session.n_sites):
+            other = (site + 1) % small_session.n_sites
+            server.register_subscription(
+                SiteSubscription(
+                    site=site,
+                    streams=tuple(
+                        sorted(small_session.site(other).stream_ids)
+                    )[:2],
+                )
+            )
+        # The "round" is pending: registrations done, build not yet run.
+        server.withdraw_site(2)
+        directive = server.build_overlay(rng)
+        assert all(
+            2 not in (parent, child) for _, parent, child in directive.edges
+        )
+        # Nothing is delivered *to* the withdrawn site either, and no
+        # satisfied request names it.
+        assert directive.streams_received_by(2) == set()
+        result = server.last_result
+        assert all(request.subscriber != 2 for request in result.satisfied)
+        auditor = InvariantAuditor(strict=True)
+        auditor.audit_build(result, event="withdraw-race")
+        assert auditor.report().ok
+
+
+class TestDeltaDirectives:
+    """Repair-served rounds emit edge deltas against the previous epoch."""
+
+    def make_server(self, session) -> MembershipServer:
+        return MembershipServer(
+            session=session,
+            builder=RandomJoinBuilder(),
+            latency_bound_ms=150.0,
+            rebuild_policy="incremental",
+        )
+
+    def subscribe(self, server, session, sites) -> None:
+        advertise_all(server, session)
+        for site in sites:
+            other = (site + 1) % session.n_sites
+            server.register_subscription(
+                SiteSubscription(
+                    site=site,
+                    streams=tuple(sorted(session.site(other).stream_ids))[:2],
+                )
+            )
+
+    def test_first_round_is_full(self, small_session):
+        server = self.make_server(small_session)
+        self.subscribe(server, small_session, sites=(0, 1))
+        directive = server.build_overlay(RngStream(5, label="t").spawn("r1"))
+        assert not directive.is_delta
+
+    def test_repair_round_emits_delta(self, small_session):
+        server = self.make_server(small_session)
+        self.subscribe(server, small_session, sites=(0, 1, 2))
+        rng = RngStream(5, label="t")
+        first = server.build_overlay(rng.spawn("r1"))
+        server.withdraw_site(2)
+        second = server.build_overlay(rng.spawn("r2"))
+        assert server.last_mode == "repair"
+        assert second.is_delta and second.base_epoch == first.epoch
+        # The delta reconstructs the full set from the previous epoch.
+        patched = (set(first.edges) - set(second.removed)) | set(second.added)
+        assert patched == set(second.edges)
+        # And it is genuinely smaller than re-shipping the forest.
+        assert second.payload_edges() < len(first.edges) + len(second.edges)
+
+    def test_rebuild_round_is_full(self, small_session):
+        """An 'always' server never emits deltas even across rounds."""
+        server = MembershipServer(
+            session=small_session,
+            builder=RandomJoinBuilder(),
+            latency_bound_ms=150.0,
+            rebuild_policy="always",
+        )
+        self.subscribe(server, small_session, sites=(0, 1))
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        second = server.build_overlay(rng.spawn("r2"))
+        assert server.last_mode == "rebuild"
+        assert not second.is_delta
+
+
 class TestBuildOverlay:
     def test_directive_epoch_increments(self, server, small_session, rng):
         advertise_all(server, small_session)

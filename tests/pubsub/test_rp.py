@@ -115,3 +115,72 @@ class TestDirectiveApplication:
 
     def test_satisfied_fraction_empty_subscription(self, agent):
         assert agent.satisfied_fraction() == 1.0
+
+
+class TestDeltaDirectives:
+    """apply_directive with edge deltas (repair-served rounds)."""
+
+    FULL_1 = (
+        (StreamId(1, 0), 1, 0),   # site 0 receives s1^0
+        (StreamId(1, 0), 0, 2),   # relays it to 2
+        (StreamId(0, 0), 0, 3),   # own stream to 3
+        (StreamId(0, 0), 0, 1),   # own stream to 1
+    )
+    # Epoch 2: stream s1^0 now relayed to 1 instead of 2; site 0 stops
+    # receiving s2^0 never had it; gains s2^0 from site 2.
+    FULL_2 = (
+        (StreamId(1, 0), 1, 0),
+        (StreamId(1, 0), 0, 1),
+        (StreamId(0, 0), 0, 3),
+        (StreamId(2, 0), 2, 0),
+    )
+
+    def delta_directive(self) -> OverlayDirective:
+        old, new = set(self.FULL_1), set(self.FULL_2)
+        return OverlayDirective(
+            epoch=2,
+            edges=tuple(sorted(self.FULL_2)),
+            base_epoch=1,
+            added=tuple(sorted(new - old)),
+            removed=tuple(sorted(old - new)),
+        )
+
+    def test_delta_equals_full_install(self, small_session):
+        """Forwarding tables after a delta apply match a full install."""
+        via_delta = RPAgent(small_session.site(0))
+        via_full = RPAgent(small_session.site(0))
+        first = OverlayDirective(epoch=1, edges=tuple(sorted(self.FULL_1)))
+        via_delta.apply_directive(first)
+        via_full.apply_directive(first)
+        via_delta.apply_directive(self.delta_directive())
+        # The twin installs the same epoch as a full-set directive.
+        via_full.apply_directive(
+            OverlayDirective(epoch=2, edges=tuple(sorted(self.FULL_2)))
+        )
+        assert via_delta.epoch == via_full.epoch == 2
+        for stream in {edge[0] for edge in self.FULL_1 + self.FULL_2}:
+            assert via_delta.next_hops(stream) == via_full.next_hops(stream)
+        assert via_delta.received_streams() == via_full.received_streams()
+        assert via_delta._forwarding == via_full._forwarding
+
+    def test_epoch_gap_falls_back_to_full_set(self, small_session):
+        """An RP that missed the base epoch installs from ``edges``."""
+        agent = RPAgent(small_session.site(0))   # epoch -1: never installed
+        agent.apply_directive(self.delta_directive())
+        assert agent.epoch == 2
+        assert agent.next_hops(StreamId(1, 0)) == [1]
+        assert agent.received_streams() == {StreamId(1, 0), StreamId(2, 0)}
+
+    def test_delta_removing_unknown_edge_rejected(self, small_session):
+        agent = RPAgent(small_session.site(0))
+        agent.apply_directive(
+            OverlayDirective(epoch=1, edges=tuple(sorted(self.FULL_1)))
+        )
+        bogus = OverlayDirective(
+            epoch=2,
+            edges=tuple(sorted(self.FULL_1)),
+            base_epoch=1,
+            removed=((StreamId(5, 5), 0, 2),),
+        )
+        with pytest.raises(ProtocolError, match="unknown edge"):
+            agent.apply_directive(bogus)

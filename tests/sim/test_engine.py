@@ -50,6 +50,68 @@ class TestScheduling:
             Simulator().schedule_in(-1.0, lambda: None)
 
 
+class TestTimer:
+    def test_one_shot_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_timer(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+        assert timer.fired == 1
+        assert not timer.cancelled
+
+    def test_cancel_before_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_timer(5.0, lambda: fired.append(sim.now))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert timer.fired == 0
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        timer = sim.schedule_timer(5.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        sim.run()
+        assert timer.cancelled
+
+    def test_recurring_fires_until_cancelled(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_timer(
+            5.0, lambda: fired.append(sim.now), interval_ms=10.0
+        )
+        sim.run(until_ms=40.0)
+        timer.cancel()
+        sim.run()
+        assert fired == [5.0, 15.0, 25.0, 35.0]
+
+    def test_recurring_cancel_from_inside_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_timer(
+            1.0, lambda: (fired.append(sim.now), timer.cancel()),
+            interval_ms=1.0,
+        )
+        sim.run()
+        assert fired == [1.0]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_timer(1.0, lambda: None, interval_ms=0.0)
+
+    def test_cancelled_event_is_noop_not_removed(self):
+        # Cancellation is lazy: the heap entry stays and pops as a no-op.
+        sim = Simulator()
+        timer = sim.schedule_timer(5.0, lambda: None)
+        timer.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+
 class TestRun:
     def test_run_until_leaves_future_events(self):
         sim = Simulator()

@@ -115,6 +115,44 @@ class TestScenarioParser:
                 ["scenario", "run", "mass-leave", "--rebuild-policy", "never"]
             )
 
+    def test_async_control_flags(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "flash-crowd", "--async-control",
+             "--control-delay-ms", "50", "--debounce-ms", "15"]
+        )
+        assert args.async_control
+        assert args.control_delay_ms == 50.0
+        assert args.debounce_ms == 15.0
+
+    def test_async_control_defaults_off(self):
+        args = build_parser().parse_args(["scenario", "run", "flash-crowd"])
+        assert not args.async_control
+        assert args.control_delay_ms is None
+        assert args.debounce_ms is None
+
+
+class TestConvergenceParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["convergence"])
+        assert args.command == "convergence"
+        assert args.scenario == "flash-crowd"
+        assert args.delays == "0,20,50,100"
+        assert args.sites == 8
+        assert args.debounce_ms == 10.0
+        assert not args.audit
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["convergence", "--scenario", "mixed-churn", "--delays", "0,80",
+             "--sites", "12", "--debounce-ms", "25", "--audit", "--no-plot"]
+        )
+        assert args.scenario == "mixed-churn"
+        assert args.delays == "0,80"
+        assert args.sites == 12
+        assert args.debounce_ms == 25.0
+        assert args.audit
+        assert args.no_plot
+
 
 class TestDisruptionParser:
     def test_defaults(self):
