@@ -30,6 +30,12 @@ if [[ "${1:-}" == "--full" ]]; then
         --control-delay-ms 50 --debounce-ms 15 --audit --strict
 
     echo
+    echo "== audited high-churn scenario on the diffed-assembly path =="
+    python -m repro.cli scenario run mixed-churn --sites 16 --seed 7 \
+        --rebuild-policy incremental --problem-assembly diffed \
+        --audit --strict
+
+    echo
     echo "== perf smoke (fast plane must beat the event-driven plane) =="
     python -m repro.cli perf smoke --sites 12
 
@@ -49,8 +55,10 @@ if [[ "${1:-}" == "--full" ]]; then
         fi
         CI_BENCH=$(mktemp /tmp/tele3d_bench_ci.XXXXXX.json)
         trap 'rm -f "${CI_BENCH}"' EXIT
+        # Scenario timings stay on so the ratcheted
+        # scenario-round(incremental) series is present on both sides.
         python -m repro.cli perf sweep --sizes 16,32 --label CI \
-            --output "${CI_BENCH}" --no-event-plane --no-scenario
+            --output "${CI_BENCH}" --no-event-plane
         python -m repro.cli perf compare "${BASELINE}" "${CI_BENCH}" --ratchet
     fi
 fi

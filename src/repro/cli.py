@@ -38,7 +38,7 @@ from dataclasses import replace
 from typing import Sequence
 
 from repro.errors import Tele3DError
-from repro.util.validation import REBUILD_POLICIES
+from repro.util.validation import ASSEMBLY_POLICIES, REBUILD_POLICIES
 from repro.experiments.fig8 import run_fig8
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -124,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "from scratch (always), repair the surviving "
                                "forest (incremental), or repair under a "
                                "drift budget (hybrid)")
+    scen_run.add_argument("--problem-assembly", default=None,
+                          choices=ASSEMBLY_POLICIES,
+                          help="per-round problem assembly: evolve the "
+                               "previous round's problem (diffed), re-derive "
+                               "the dense tables from the session (scratch), "
+                               "or diffed whenever the rebuild policy is not "
+                               "'always' (auto, default)")
     scen_run.add_argument("--async-control", action="store_true",
                           help="replay the schedule through the event-driven "
                                "membership service (delayed control links, "
@@ -352,6 +359,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         spec = replace(spec, algorithm=args.algorithm)
     if args.rebuild_policy:
         spec = replace(spec, rebuild_policy=args.rebuild_policy)
+    if args.problem_assembly:
+        spec = replace(spec, problem_assembly=args.problem_assembly)
     if (
         args.async_control
         or args.control_delay_ms is not None

@@ -157,14 +157,22 @@ class CorrelatedRandomJoinBuilder(RandomJoinBuilder):
     ) -> _Swap | None:
         """Scan constructed trees for the best victim meeting all 4 conditions."""
         subscriber = request.subscriber
-        own_q = criticality(problem, subscriber, request.source)
+        # One bulk fetch each of the subscriber's u-row and dense cost
+        # column; the per-tree loop below then probes arrays instead of
+        # paying two dict hops per criticality/cost lookup.
+        u_row = problem.u_row(subscriber)
+        own_u = u_row.get(request.source, 0)
+        own_q = float("inf") if own_u == 0 else 1.0 / own_u
         target_tree = forest.tree(request.stream)
         best: _Swap | None = None
         cost_to_subscriber = problem.costs_to(subscriber)
         for stream, tree in forest.trees.items():
             if stream.site == request.source:  # condition (1): k != j
                 continue
-            victim_q = criticality(problem, subscriber, stream.site)
+            victim_u = u_row.get(stream.site, 0)
+            if victim_u == 0:
+                continue  # nothing requested: infinite criticality
+            victim_q = 1.0 / victim_u
             if not victim_q < own_q:  # condition (1): strictly less critical
                 continue
             if not tree.is_leaf(subscriber):  # condition (2)

@@ -122,8 +122,11 @@ def _find_parent(
     cost_to_subscriber = problem.costs_to(subscriber)
     path_costs = tree.path_costs()
     bound = problem.latency_bound_ms
+    # Flat node-indexed arrays: every probe below is a plain list
+    # indexing (the degree tables and limit twins are kept in lockstep
+    # with their dict views).
     dout = state.dout
-    outbound = problem.outbound
+    outbound = problem.outbound_limits()
     m_hat = state.m_hat
     for member, cost_from_source in path_costs.items():
         out_limit = outbound[member]

@@ -10,12 +10,24 @@ A :class:`ForestProblem` bundles everything an overlay builder needs:
 Finding a forest satisfying two or more such constraints is NP-complete
 (Wang & Crowcroft, cited in the paper), hence the heuristics in the
 sibling modules.
+
+Problems are assembled two ways.  :meth:`ForestProblem.from_workload`
+builds everything from scratch — O(N²) for the dense cost/limit tables
+— which is the right cost to pay once per session but dominated control
+rounds when paid every round.  :meth:`ForestProblem.evolve` instead
+carries the previous round's dense cost matrix and limit tables forward
+(they are session constants) and patches only what the workload diff
+changed: joined/departed sites' groups and edited subscriptions.  The
+evolved problem is equivalent to the from-scratch one — same costs,
+limits, groups, ``u`` and ``m`` tables — so builders produce
+bit-identical forests on it; the equivalence suite pins this per
+scenario × seed × algorithm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.errors import ConfigurationError, SubscriptionError
 from repro.core.model import MulticastGroup, SubscriptionRequest
@@ -23,6 +35,9 @@ from repro.session.session import TISession
 from repro.topology.dense import DenseCostMatrix
 from repro.session.streams import StreamId
 from repro.workload.spec import SubscriptionWorkload
+
+#: Shared empty row handed out for subscribers with no requests.
+_EMPTY_U_ROW: dict[int, int] = {}
 
 
 class _CostRow(dict):
@@ -46,6 +61,103 @@ class _CostRow(dict):
             self._matrix.set_cost(self._row_index, key, value)
 
 
+class _LimitTable(dict):
+    """A degree-bound table that writes through to its flat list twin.
+
+    The hot paths (parent search, CO-RJ victim scan, builder-state
+    probes) index the flat list; the dict stays the public, test-visible
+    surface, so mutations like ``problem.inbound[v] = 0`` must stay
+    visible to both.  ``update``/``setdefault`` route through
+    ``__setitem__`` for the same reason, and entry removal is refused —
+    every node 0..n-1 must keep a bound.
+    """
+
+    __slots__ = ("_flat",)
+
+    def __init__(self, data: Mapping, flat: list[int]):
+        super().__init__(data)
+        self._flat = flat
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        if isinstance(key, int) and 0 <= key < len(self._flat):
+            self._flat[key] = value
+
+    def update(self, *args, **kwargs) -> None:
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self[key] = default
+        return self[key]
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+    def _refuse_drop(self, *args):
+        raise ConfigurationError(
+            "degree-bound tables cannot drop entries; set the bound to 0 "
+            "instead"
+        )
+
+    __delitem__ = _refuse_drop
+    pop = _refuse_drop
+    popitem = _refuse_drop
+    clear = _refuse_drop
+
+
+@dataclass(frozen=True)
+class ProblemDelta:
+    """Group-level difference between two rounds' workloads.
+
+    ``added`` are streams newly requested (their whole group is new),
+    ``removed`` the full groups of streams nobody requests any more, and
+    ``changed`` pairs ``(old, new)`` groups of streams whose subscriber
+    set was edited.  Streams whose group is identical across rounds do
+    not appear at all — that is the steady-state bulk the diffed
+    assembly never touches.
+    """
+
+    added: tuple[MulticastGroup, ...] = ()
+    removed: tuple[MulticastGroup, ...] = ()
+    changed: tuple[tuple[MulticastGroup, MulticastGroup], ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """True when the two workloads produced identical groups."""
+        return not (self.added or self.removed or self.changed)
+
+    @property
+    def touched_groups(self) -> int:
+        """How many groups the delta patches (reporting/diagnostics)."""
+        return len(self.added) + len(self.removed) + len(self.changed)
+
+    @classmethod
+    def between(
+        cls,
+        old: Sequence[MulticastGroup],
+        new: Sequence[MulticastGroup],
+    ) -> "ProblemDelta":
+        """Diff two group lists (each keyed by stream)."""
+        old_by = {group.stream: group for group in old}
+        new_streams = set()
+        added: list[MulticastGroup] = []
+        changed: list[tuple[MulticastGroup, MulticastGroup]] = []
+        for group in new:
+            new_streams.add(group.stream)
+            before = old_by.get(group.stream)
+            if before is None:
+                added.append(group)
+            elif before.subscribers != group.subscribers:
+                changed.append((before, group))
+        removed = tuple(
+            group for group in old if group.stream not in new_streams
+        )
+        return cls(added=tuple(added), removed=removed, changed=tuple(changed))
+
+
 @dataclass
 class ForestProblem:
     """One overlay-construction instance over RP nodes ``0..n_nodes-1``."""
@@ -65,11 +177,15 @@ class ForestProblem:
                 f"latency_bound_ms must be positive, got {self.latency_bound_ms}"
             )
         dense_rows: list[list[float]] = []
+        inbound_limits: list[int] = []
+        outbound_limits: list[int] = []
         for node in range(self.n_nodes):
             if node not in self.inbound or node not in self.outbound:
                 raise ConfigurationError(f"missing degree bounds for node {node}")
             if self.inbound[node] < 0 or self.outbound[node] < 0:
                 raise ConfigurationError(f"negative degree bound at node {node}")
+            inbound_limits.append(self.inbound[node])
+            outbound_limits.append(self.outbound[node])
             row = self.cost.get(node)
             if row is None:
                 raise ConfigurationError(f"missing cost row for node {node}")
@@ -90,21 +206,32 @@ class ForestProblem:
             node: _CostRow(self.cost[node], self._dense, node)
             for node in range(self.n_nodes)
         }
+        # Flat, node-indexed limit twins for the hot paths; the dicts
+        # above become write-through views so test-land tweaks like
+        # ``problem.inbound[v] = 0`` stay visible to both surfaces.
+        self._inbound_limits = inbound_limits
+        self._outbound_limits = outbound_limits
+        self.inbound = _LimitTable(self.inbound, self._inbound_limits)
+        self.outbound = _LimitTable(self.outbound, self._outbound_limits)
         seen_streams: set[StreamId] = set()
         for group in self.groups:
             if group.stream in seen_streams:
                 raise SubscriptionError(f"duplicate group for stream {group.stream}")
             seen_streams.add(group.stream)
-            if not 0 <= group.source < self.n_nodes:
-                raise SubscriptionError(
-                    f"group source {group.source} out of range for {group.stream}"
-                )
-            for member in group.subscribers:
-                if not 0 <= member < self.n_nodes:
-                    raise SubscriptionError(
-                        f"group member {member} out of range for {group.stream}"
-                    )
+            self._check_group(group)
         self._u: dict[int, dict[int, int]] = self._compute_u()
+        self._m_table: list[int] = self._compute_m()
+
+    def _check_group(self, group: MulticastGroup) -> None:
+        if not 0 <= group.source < self.n_nodes:
+            raise SubscriptionError(
+                f"group source {group.source} out of range for {group.stream}"
+            )
+        for member in group.subscribers:
+            if not 0 <= member < self.n_nodes:
+                raise SubscriptionError(
+                    f"group member {member} out of range for {group.stream}"
+                )
 
     # -- derived data ------------------------------------------------------------
 
@@ -116,6 +243,12 @@ class ForestProblem:
                 row[group.source] = row.get(group.source, 0) + 1
         return u
 
+    def _compute_m(self) -> list[int]:
+        m = [0] * self.n_nodes
+        for group in self.groups:
+            m[group.source] += 1
+        return m
+
     @property
     def n_groups(self) -> int:
         """The paper's ``F`` — number of trees the forest must contain."""
@@ -123,7 +256,15 @@ class ForestProblem:
 
     def u(self, subscriber: int, source: int) -> int:
         """``u_{i->j}``: streams of ``source`` requested by ``subscriber``."""
-        return self._u.get(subscriber, {}).get(source, 0)
+        return self._u.get(subscriber, _EMPTY_U_ROW).get(source, 0)
+
+    def u_row(self, subscriber: int) -> Mapping[int, int]:
+        """``subscriber``'s sparse ``u`` row, fetched once (read-only).
+
+        The CO-RJ victim scan probes ``u_{i->k}`` for every constructed
+        tree; handing out the row saves one dict hop per probe.
+        """
+        return self._u.get(subscriber, _EMPTY_U_ROW)
 
     def u_matrix(self) -> dict[int, dict[int, int]]:
         """A copy of the full (sparse) ``u`` matrix."""
@@ -165,15 +306,37 @@ class ForestProblem:
 
     def inbound_limit(self, node: int) -> int:
         """``I(node)`` in stream units."""
-        return self.inbound[node]
+        return self._inbound_limits[node]
 
     def outbound_limit(self, node: int) -> int:
         """``O(node)`` in stream units."""
-        return self.outbound[node]
+        return self._outbound_limits[node]
+
+    def inbound_limits(self) -> list[int]:
+        """``I`` for every node, indexable by node id (shared, read-only)."""
+        return self._inbound_limits
+
+    def outbound_limits(self) -> list[int]:
+        """``O`` for every node, indexable by node id (shared, read-only).
+
+        This is the parent-search access pattern: one bulk fetch, then
+        O(1) probes per candidate instead of a dict hop each.
+        """
+        return self._outbound_limits
 
     def streams_to_send(self, node: int) -> int:
-        """The paper's ``m_i``: streams of ``node`` wanted by >= 1 other RP."""
-        return sum(1 for group in self.groups if group.source == node)
+        """The paper's ``m_i``: streams of ``node`` wanted by >= 1 other RP.
+
+        Served from a per-node table computed once at construction (and
+        patched by :meth:`evolve`) instead of rescanning every group.
+        """
+        if not 0 <= node < self.n_nodes:
+            return 0
+        return self._m_table[node]
+
+    def m_table(self) -> list[int]:
+        """``m_i`` for every node, indexable by node id (shared, read-only)."""
+        return self._m_table
 
     # -- constructors ------------------------------------------------------------
 
@@ -232,6 +395,128 @@ class ForestProblem:
             groups=groups,
             latency_bound_ms=latency_bound_ms,
         )
+
+    @classmethod
+    def evolve(
+        cls,
+        prev: "ForestProblem",
+        workload: SubscriptionWorkload,
+    ) -> "ForestProblem":
+        """Diffed assembly: patch ``prev`` into the next round's problem.
+
+        Costs and degree bounds are per-session constants, so the new
+        problem *shares* the previous one's dense cost matrix (including
+        its lazily-built transpose), write-through cost rows and limit
+        tables — none of the O(N²) work of :meth:`from_workload` is
+        repeated.  Only the multicast groups are rebuilt from
+        ``workload`` (unchanged groups reuse the previous objects), and
+        the derived ``u`` and ``m`` tables are patched copy-on-write for
+        exactly the groups the diff touches.
+
+        The result is equivalent to a from-scratch assembly of the same
+        workload: equal costs, limits, groups, ``u`` and ``m``, hence
+        bit-identical build results under the same RNG.  Because tables
+        are shared, in-place tweaks (``problem.cost[a][b] = x``) are
+        visible across every problem evolved from the same ancestor —
+        the control plane treats them as read-only.
+
+        Unlike :meth:`from_workload`, ``evolve`` has no session to
+        check subscriptions against, so streams are **caller-trusted**:
+        only node-id ranges are validated.  The membership server
+        satisfies this by construction (``global_workload`` drops
+        subscriptions whose publisher never advertised, and
+        advertisements are validated against the registry on arrival);
+        direct callers feeding unfiltered workloads should assemble
+        from scratch to keep the unpublished-stream check.
+        """
+        if workload.n_sites != prev.n_nodes:
+            raise SubscriptionError(
+                f"workload covers {workload.n_sites} sites but the previous "
+                f"problem has {prev.n_nodes}"
+            )
+        # Unchanged streams reuse the previous MulticastGroup (identity
+        # reuse, no re-validation); ProblemDelta.between is the single
+        # diff implementation — its extra O(groups) pass is negligible
+        # next to the O(N²) this path avoids.
+        old_by = {group.stream: group for group in prev.groups}
+        groups: list[MulticastGroup] = []
+        for stream, members in sorted(workload.groups().items()):
+            old = old_by.get(stream)
+            if old is not None and old.subscribers == members:
+                groups.append(old)
+            else:
+                groups.append(MulticastGroup(stream=stream, subscribers=members))
+        delta = ProblemDelta.between(prev.groups, groups)
+
+        problem = cls.__new__(cls)
+        problem.n_nodes = prev.n_nodes
+        problem.cost = prev.cost
+        problem.inbound = prev.inbound
+        problem.outbound = prev.outbound
+        problem.groups = groups
+        problem.latency_bound_ms = prev.latency_bound_ms
+        problem._dense = prev._dense
+        problem._inbound_limits = prev._inbound_limits
+        problem._outbound_limits = prev._outbound_limits
+        if delta.empty:
+            problem._u = prev._u
+            problem._m_table = prev._m_table
+            return problem
+        for group in delta.added:
+            problem._check_group(group)
+        for _old, group in delta.changed:
+            problem._check_group(group)
+        problem._u = cls._patch_u(prev._u, delta)
+        m_table = list(prev._m_table)
+        for group in delta.removed:
+            m_table[group.source] -= 1
+        for group in delta.added:
+            m_table[group.source] += 1
+        problem._m_table = m_table
+        return problem
+
+    @staticmethod
+    def _patch_u(
+        prev_u: dict[int, dict[int, int]], delta: ProblemDelta
+    ) -> dict[int, dict[int, int]]:
+        """Apply a group delta to the sparse ``u`` matrix, copy-on-write.
+
+        Untouched rows are shared with the previous problem; touched
+        rows are copied before editing and zero entries are dropped, so
+        the patched matrix equals a from-scratch :meth:`_compute_u`.
+        """
+        u = dict(prev_u)
+        touched: set[int] = set()
+
+        def row_of(member: int) -> dict[int, int]:
+            if member not in touched:
+                u[member] = dict(u.get(member, _EMPTY_U_ROW))
+                touched.add(member)
+            return u[member]
+
+        for group in delta.removed:
+            source = group.source
+            for member in group.subscribers:
+                row_of(member)[source] -= 1
+        for old, new in delta.changed:
+            source = old.source
+            for member in old.subscribers - new.subscribers:
+                row_of(member)[source] -= 1
+            for member in new.subscribers - old.subscribers:
+                row = row_of(member)
+                row[source] = row.get(source, 0) + 1
+        for group in delta.added:
+            source = group.source
+            for member in group.subscribers:
+                row = row_of(member)
+                row[source] = row.get(source, 0) + 1
+        for member in touched:
+            row = u[member]
+            for source in [s for s, count in row.items() if count == 0]:
+                del row[source]
+            if not row:
+                del u[member]
+        return u
 
     def __str__(self) -> str:
         return (

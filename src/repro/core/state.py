@@ -40,15 +40,20 @@ class BuilderState:
     def __init__(self, problem: ForestProblem, reservations: bool = True) -> None:
         self.problem = problem
         self.reservations = reservations
-        self.din: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
-        self.dout: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
+        # Flat lists indexed by node id: the parent-search inner loop
+        # probes these per candidate, so they must be one C-level
+        # indexing, not a hash lookup.
+        n = problem.n_nodes
+        self.din: list[int] = [0] * n
+        self.dout: list[int] = [0] * n
         # m_i is the static paper quantity (streams of i subscribed by
-        # >= 1 other RP); m̂_i only grows as groups are opened.
-        self.m: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
-        self.m_hat: dict[int, int] = {i: 0 for i in range(problem.n_nodes)}
+        # >= 1 other RP), precomputed per problem; m̂_i only grows as
+        # groups are opened.
+        self.m: list[int] = list(problem.m_table())
+        self.m_hat: list[int] = [0] * n
+        self._in_limits = problem.inbound_limits()
+        self._out_limits = problem.outbound_limits()
         self._opened: set[StreamId] = set()
-        for group in problem.groups:
-            self.m[group.source] += 1
 
     # -- reservation scope ---------------------------------------------------------
 
@@ -73,15 +78,15 @@ class BuilderState:
 
     def rfc(self, node: int) -> int:
         """Remaining forwarding capacity ``O_i - dout_i - m̂_i``."""
-        return self.problem.outbound_limit(node) - self.dout[node] - self.m_hat[node]
+        return self._out_limits[node] - self.dout[node] - self.m_hat[node]
 
     def inbound_free(self, node: int) -> bool:
         """True while ``din_i < I_i``."""
-        return self.din[node] < self.problem.inbound_limit(node)
+        return self.din[node] < self._in_limits[node]
 
     def outbound_free(self, node: int) -> bool:
         """True while ``dout_i < O_i``."""
-        return self.dout[node] < self.problem.outbound_limit(node)
+        return self.dout[node] < self._out_limits[node]
 
     # -- mutations ---------------------------------------------------------------
 
@@ -134,24 +139,28 @@ class BuilderState:
     def check_invariants(self) -> None:
         """Raise :class:`OverlayError` if any degree bound is violated."""
         for node in range(self.problem.n_nodes):
-            if self.din[node] > self.problem.inbound_limit(node):
+            if self.din[node] > self._in_limits[node]:
                 raise OverlayError(
                     f"node {node} exceeds inbound bound: "
-                    f"{self.din[node]} > {self.problem.inbound_limit(node)}"
+                    f"{self.din[node]} > {self._in_limits[node]}"
                 )
-            if self.dout[node] > self.problem.outbound_limit(node):
+            if self.dout[node] > self._out_limits[node]:
                 raise OverlayError(
                     f"node {node} exceeds outbound bound: "
-                    f"{self.dout[node]} > {self.problem.outbound_limit(node)}"
+                    f"{self.dout[node]} > {self._out_limits[node]}"
                 )
             if self.m_hat[node] < 0:
                 raise OverlayError(f"negative m̂ at node {node}")
 
     def snapshot(self) -> dict[str, dict[int, int]]:
-        """A defensive copy of the degree tables (for tests/metrics)."""
+        """A defensive copy of the degree tables (for tests/metrics).
+
+        Kept in the historical node-keyed dict form even though the
+        live tables are flat lists.
+        """
         return {
-            "din": dict(self.din),
-            "dout": dict(self.dout),
-            "m": dict(self.m),
-            "m_hat": dict(self.m_hat),
+            "din": dict(enumerate(self.din)),
+            "dout": dict(enumerate(self.dout)),
+            "m": dict(enumerate(self.m)),
+            "m_hat": dict(enumerate(self.m_hat)),
         }

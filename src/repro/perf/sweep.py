@@ -8,7 +8,11 @@ times the three hot paths the fast-path overhaul targets —
   plane, on the *same* forest (the two reports are also cross-checked
   for equality, so every sweep doubles as an equivalence test);
 * **scenario round** — one audited-off control round of a churn
-  scenario at the same site count;
+  scenario at the same site count, once per rebuild policy: ``always``
+  pays the paper's from-scratch assembly + solve every round, while
+  ``incremental`` repairs the forest over a problem evolved by diffed
+  assembly (:meth:`ForestProblem.evolve`) and must beat ``always`` on
+  wall-clock at N >= 64;
 
 across N in {16..256} on deterministic ``synthetic-<n>`` backbones, and
 serializes the result as ``BENCH_<label>.json`` so successive PRs can
@@ -274,12 +278,19 @@ def _measure_control_convergence(n_sites: int, seed: int) -> Timing:
 def _time_scenario_rounds(
     n_sites: int, seed: int, rebuild_policy: str
 ) -> Timing:
-    """Mean control-round latency of the timing scenario at one policy."""
+    """Mean control-round latency of the timing scenario at one policy.
+
+    Only :meth:`ScenarioRuntime.run` is timed: session assembly and
+    backbone loading happen once per session lifetime, not per control
+    round, so including them would smear an identical constant over
+    both policies and mask the per-round difference this series tracks.
+    """
     from repro.scenarios.runtime import ScenarioRuntime
 
     spec = _scenario_spec(n_sites, seed, rebuild_policy)
+    runtime = ScenarioRuntime(spec, audit=False)
     with Stopwatch() as stopwatch:
-        report = ScenarioRuntime(spec, audit=False).run()
+        report = runtime.run()
     rounds = max(1, report.rounds)
     suffix = "" if rebuild_policy == "always" else f"({rebuild_policy})"
     return Timing(
@@ -448,7 +459,11 @@ def compare_reports(old: dict, new: dict) -> str:
 
 
 #: Timing series the CI ratchet gates (each a key into a case dict).
-RATCHET_METRICS = ("build", "fast_plane")
+#: ``scenario_round_incremental`` joined once diffed problem assembly
+#: stopped round time being dominated by O(N²) table rebuilding (the
+#: PR 3 follow-on): the series now measures repair + evolve, which is
+#: exactly the steady-state latency the ratchet must protect.
+RATCHET_METRICS = ("build", "fast_plane", "scenario_round_incremental")
 
 #: Default regression threshold: new/old wall-clock ratios above this
 #: fail the ratchet.  2x is deliberately loose — absolute times are

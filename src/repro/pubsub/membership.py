@@ -14,6 +14,19 @@ round's forest and only re-solves when the repair is infeasible;
 ``drift_budget`` of the from-scratch solution.  Per-round disruption
 (:func:`~repro.core.incremental.churn_rate` against the previous round)
 and repair-vs-rebuild counts are tracked for reporting.
+
+Orthogonally, ``problem_assembly`` decides how each round's
+:class:`~repro.core.problem.ForestProblem` is *assembled* before any
+overlay work happens: ``"scratch"`` re-derives the dense O(N²)
+cost/limit tables from the session every round, while ``"diffed"``
+evolves the previous round's problem
+(:meth:`~repro.core.problem.ForestProblem.evolve`), carrying the dense
+matrix across rounds and patching only the groups the workload diff
+touched.  ``"auto"`` (the default) uses diffed assembly whenever the
+rebuild policy is not ``"always"`` — so incremental rounds stop paying
+the per-round O(N²) the paper's always-rebuild model pays.  Diffed and
+scratch assembly are equivalent (bit-identical build results); per-mode
+counts are tracked for reporting.
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ from repro.pubsub.messages import Advertisement, OverlayDirective, SiteSubscript
 from repro.session.session import TISession
 from repro.session.streams import StreamId
 from repro.util.rng import RngStream
-from repro.util.validation import check_non_negative
+from repro.util.validation import check_assembly_policy, check_non_negative
 from repro.workload.spec import SubscriptionWorkload
 
 
@@ -48,16 +61,23 @@ class MembershipServer:
     latency_bound_ms: float = 120.0
     #: Overlay maintenance policy; ``None`` adopts the session's default.
     rebuild_policy: str | None = None
+    #: Per-round problem assembly ("auto" | "diffed" | "scratch");
+    #: ``None`` adopts the session's default.
+    problem_assembly: str | None = None
     #: Hybrid-mode quality budget: the repaired forest may cost at most
     #: ``(1 + drift_budget)`` times the scratch solution of the round.
     drift_budget: float = DEFAULT_DRIFT_BUDGET
     _advertised: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
     _subscriptions: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
     _epoch: int = 0
+    _last_problem: ForestProblem | None = None
     _last_result: BuildResult | None = None
     _last_edges: tuple | None = None
     _repairs: int = 0
     _rebuilds: int = 0
+    _assemblies_diffed: int = 0
+    _assemblies_scratch: int = 0
+    _last_assembly: str | None = None
     _last_disruption: float | None = None
     _last_mode: str | None = None
     _registrations_applied: int = 0
@@ -67,6 +87,9 @@ class MembershipServer:
         if self.rebuild_policy is None:
             self.rebuild_policy = self.session.rebuild_policy
         validate_rebuild_policy(self.rebuild_policy)
+        if self.problem_assembly is None:
+            self.problem_assembly = self.session.problem_assembly
+        check_assembly_policy(self.problem_assembly)
         check_non_negative("drift_budget", self.drift_budget)
         # Repair joins mirror the configured builder: same parent
         # policy, and the CO-RJ victim swap only when the builder itself
@@ -161,12 +184,12 @@ class MembershipServer:
 
         The first round always builds from scratch; afterwards the
         configured ``rebuild_policy`` decides whether the previous forest
-        is repaired in place or the problem is re-solved.
+        is repaired in place or the problem is re-solved, and the
+        configured ``problem_assembly`` whether the round's problem is
+        evolved from the previous one or re-derived from the session.
         """
         workload = self.global_workload()
-        problem = ForestProblem.from_workload(
-            self.session, workload, self.latency_bound_ms
-        )
+        problem = self._assemble_problem(workload)
         previous = self._last_result
         result: BuildResult | None = None
         mode = "rebuild"
@@ -212,6 +235,32 @@ class MembershipServer:
             )
         return OverlayDirective(epoch=self._epoch, edges=edges, rejected=rejected)
 
+    def _assemble_problem(self, workload: SubscriptionWorkload) -> ForestProblem:
+        """Assemble the round's problem: evolve the previous one or start over.
+
+        ``auto`` resolves to diffed assembly exactly when the rebuild
+        policy is not ``"always"`` — the paper's model keeps paying the
+        per-round O(N²) scratch assembly it specifies, while repair
+        rounds skip it.  The first round (no previous problem) is always
+        scratch.
+        """
+        mode = self.problem_assembly
+        if mode == "auto":
+            mode = "scratch" if self.rebuild_policy == "always" else "diffed"
+        previous = self._last_problem
+        if mode == "diffed" and previous is not None:
+            problem = ForestProblem.evolve(previous, workload)
+            self._assemblies_diffed += 1
+            self._last_assembly = "diffed"
+        else:
+            problem = ForestProblem.from_workload(
+                self.session, workload, self.latency_bound_ms
+            )
+            self._assemblies_scratch += 1
+            self._last_assembly = "scratch"
+        self._last_problem = problem
+        return problem
+
     def _within_budget(self, repaired: BuildResult, scratch: BuildResult) -> bool:
         """Hybrid adoption rule: no extra rejections, bounded cost drift."""
         if len(repaired.rejected) > len(scratch.rejected):
@@ -245,6 +294,21 @@ class MembershipServer:
     def last_mode(self) -> str | None:
         """``"repair"`` or ``"rebuild"`` for the latest round (None before)."""
         return self._last_mode
+
+    @property
+    def assemblies_diffed(self) -> int:
+        """Rounds whose problem was evolved from the previous round's."""
+        return self._assemblies_diffed
+
+    @property
+    def assemblies_scratch(self) -> int:
+        """Rounds whose problem was re-derived from the session."""
+        return self._assemblies_scratch
+
+    @property
+    def last_assembly(self) -> str | None:
+        """``"diffed"`` or ``"scratch"`` for the latest round (None before)."""
+        return self._last_assembly
 
     @property
     def registrations_applied(self) -> int:

@@ -77,6 +77,10 @@ class ControlRound:
     built_ms: float
     #: ``"repair"`` or ``"rebuild"`` (the server's mode for the round).
     mode: str
+    #: ``"diffed"`` or ``"scratch"`` — how the round's problem was
+    #: assembled (the async plane reuses the shared server's evolved
+    #: problem exactly like the synchronous plane does).
+    assembly: str
     #: Sites the directive was pushed to (the server's registered set
     #: at build time).
     installed: tuple[int, ...]
@@ -270,6 +274,7 @@ class MembershipService:
             trigger_ms=trigger_ms,
             built_ms=self.sim.now,
             mode=self.server.last_mode or "rebuild",
+            assembly=self.server.last_assembly or "scratch",
             installed=installed,
             directive=directive,
             result=result,

@@ -40,6 +40,9 @@ class PubSubSystem:
     latency_bound_ms: float = 120.0
     #: Overlay maintenance policy; ``None`` adopts the session's default.
     rebuild_policy: str | None = None
+    #: Per-round problem assembly ("auto" | "diffed" | "scratch");
+    #: ``None`` adopts the session's default.
+    problem_assembly: str | None = None
     rps: dict[int, RPAgent] = field(default_factory=dict)
     server: MembershipServer = field(init=False)
 
@@ -53,6 +56,7 @@ class PubSubSystem:
             builder=self.builder,
             latency_bound_ms=self.latency_bound_ms,
             rebuild_policy=self.rebuild_policy,
+            problem_assembly=self.problem_assembly,
         )
 
     # -- subscription entry points --------------------------------------------------

@@ -50,6 +50,7 @@ class ScenarioReport:
     n_sites: int
     duration_ms: float
     rebuild_policy: str = "always"
+    problem_assembly: str = "auto"
     rounds: int = 0
     events: dict[str, int] = field(default_factory=dict)
     skipped_events: int = 0
@@ -59,6 +60,10 @@ class ScenarioReport:
     #: Rounds served by incremental repair vs from-scratch rebuild.
     repairs: int = 0
     rebuilds: int = 0
+    #: Rounds whose problem was evolved from the previous round's
+    #: (diffed assembly) vs re-derived from the session (scratch).
+    assemblies_diffed: int = 0
+    assemblies_scratch: int = 0
     #: Sum of per-round disruption (parent moves among surviving
     #: requests, :func:`~repro.core.incremental.churn_rate`) over the
     #: ``disruption_rounds`` rounds that had a previous forest.
@@ -133,6 +138,9 @@ class ScenarioReport:
             f"overlay maintenance [{self.rebuild_policy}]: {self.repairs} "
             f"repairs, {self.rebuilds} rebuilds, mean disruption "
             f"{self.mean_disruption:.3f}",
+            f"problem assembly [{self.problem_assembly}]: "
+            f"{self.assemblies_diffed} diffed, "
+            f"{self.assemblies_scratch} scratch",
         ]
         if self.async_control:
             lines.append(
@@ -200,14 +208,20 @@ class ScenarioRuntime:
             builder=make_builder(spec.algorithm),
             latency_bound_ms=spec.latency_bound_ms,
             rebuild_policy=spec.rebuild_policy,
+            problem_assembly=spec.problem_assembly,
         )
         self.active: set[int] = set()
+        #: Flat, site-ordered list of every active site's published
+        #: streams, rebuilt lazily when membership changes (the FOV
+        #: machinery used to re-enumerate it per display per event).
+        self._active_streams: list | None = None
         self.report = ScenarioReport(
             name=spec.name,
             seed=spec.seed,
             n_sites=spec.n_sites,
             duration_ms=spec.duration_ms,
             rebuild_policy=spec.rebuild_policy,
+            problem_assembly=spec.problem_assembly,
         )
         self._build_rng = self.rng.spawn("build")
         self._workload_rng = self.rng.spawn("workload")
@@ -246,6 +260,7 @@ class ScenarioRuntime:
                 n_sites=spec.n_sites,
                 displays_per_site=spec.displays_per_site,
                 rebuild_policy=spec.rebuild_policy,
+                problem_assembly=spec.problem_assembly,
                 control_delay_ms=spec.control_delay_ms,
                 debounce_ms=spec.debounce_ms,
             ),
@@ -281,6 +296,8 @@ class ScenarioRuntime:
         self.report.final_active = len(self.active)
         self.report.repairs = self.server.repairs
         self.report.rebuilds = self.server.rebuilds
+        self.report.assemblies_diffed = self.server.assemblies_diffed
+        self.report.assemblies_scratch = self.server.assemblies_scratch
         if self.service is not None:
             self._finalize_async_report()
         if self.auditor is not None:
@@ -316,6 +333,7 @@ class ScenarioRuntime:
 
     def _activate(self, site: int) -> None:
         self.active.add(site)
+        self._active_streams = None
         self._subscribe_displays(site)
         if self.service is not None:
             self._announce(site)
@@ -329,6 +347,7 @@ class ScenarioRuntime:
         withdrawal travels the control link like any other message.
         """
         self.active.discard(site)
+        self._active_streams = None
         if self.service is not None:
             self.service.withdraw(site)
         else:
@@ -350,15 +369,21 @@ class ScenarioRuntime:
 
         Each display samples ``fov_size`` distinct streams uniformly from
         the streams published by *other active* sites — the explicit
-        stream-subset subscription form of Sec. 3.2.
+        stream-subset subscription form of Sec. 3.2.  The active-stream
+        pool is cached across calls (invalidated on membership change)
+        in the same site-sorted order the per-site enumeration produced,
+        so the seeded sampling below stays bit-identical.
         """
         rp = self.rps[site]
-        remote = [
-            stream_id
-            for other in sorted(self.active)
-            if other != site
-            for stream_id in self.session.site(other).stream_ids
-        ]
+        pool = self._active_streams
+        if pool is None:
+            pool = [
+                stream_id
+                for other in sorted(self.active)
+                for stream_id in self.session.site(other).stream_ids
+            ]
+            self._active_streams = pool
+        remote = [stream_id for stream_id in pool if stream_id.site != site]
         for display in rp.site.displays:
             if not remote:
                 rp.clear_display_subscription(display.display_id)

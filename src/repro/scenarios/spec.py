@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.util.rng import RngStream
-from repro.util.validation import check_rebuild_policy
+from repro.util.validation import check_assembly_policy, check_rebuild_policy
 
 
 class EventKind(enum.Enum):
@@ -97,6 +97,13 @@ class ScenarioSpec:
         ``incremental`` (repair the surviving forest) or ``hybrid``
         (repair under a drift budget); see
         :mod:`repro.core.incremental`.
+    problem_assembly:
+        How each round's :class:`~repro.core.problem.ForestProblem` is
+        assembled: ``scratch`` re-derives the dense cost/limit tables
+        from the session (O(N²) per round), ``diffed`` evolves the
+        previous round's problem patching only the changed groups, and
+        ``auto`` (default) uses diffed whenever ``rebuild_policy`` is
+        not ``always``.
     async_control:
         Replay the schedule through the event-driven
         :class:`~repro.pubsub.service.MembershipService` instead of
@@ -121,6 +128,7 @@ class ScenarioSpec:
     schedule: tuple[SchedulePhase, ...] = field(default_factory=tuple)
     algorithm: str = "rj"
     rebuild_policy: str = "always"
+    problem_assembly: str = "auto"
     nodes: str = "uniform"
     backbone: str = "tier1"
     latency_bound_ms: float = 120.0
@@ -146,6 +154,7 @@ class ScenarioSpec:
                 f"duration_ms must be positive, got {self.duration_ms}"
             )
         check_rebuild_policy(self.rebuild_policy)
+        check_assembly_policy(self.problem_assembly)
         if self.nodes not in ("uniform", "heterogeneous"):
             raise ConfigurationError(
                 f"nodes must be 'uniform' or 'heterogeneous', got {self.nodes!r}"
@@ -205,6 +214,11 @@ class ScenarioSpec:
         policy = (
             "" if self.rebuild_policy == "always" else f" policy={self.rebuild_policy}"
         )
+        assembly = (
+            ""
+            if self.problem_assembly == "auto"
+            else f" assembly={self.problem_assembly}"
+        )
         control = (
             f" async(delay={self.control_delay_ms:.0f}ms,"
             f"debounce={self.debounce_ms:.0f}ms)"
@@ -214,5 +228,5 @@ class ScenarioSpec:
         return (
             f"{self.name}: pool={self.n_sites} start={self.initial_active} "
             f"{self.duration_ms:.0f}ms [{mix or 'static'}] alg={self.algorithm}"
-            f"{policy}{control}"
+            f"{policy}{assembly}{control}"
         )

@@ -10,6 +10,7 @@ capacity, while the media/data-plane layers attach behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import SessionError
 from repro.fov.geometry import Pose
@@ -86,9 +87,16 @@ class Site:
         """Human-readable site identifier ``H_i``."""
         return f"H{self.index}"
 
-    @property
+    @cached_property
     def stream_ids(self) -> list[StreamId]:
-        """Ids of the streams published by this site's cameras."""
+        """Ids of the streams published by this site's cameras.
+
+        Cached after the first call — the scenario runtime's FOV
+        machinery re-enumerates every active site's streams per event,
+        which used to rebuild this list thousands of times per run.
+        The camera array is fixed at session assembly, so the cache
+        never goes stale; callers must treat the list as read-only.
+        """
         return [camera.stream_id for camera in self.cameras]
 
     def __str__(self) -> str:

@@ -21,7 +21,7 @@ from repro.topology.dense import DenseCostMatrix
 from repro.topology.graph import Topology
 from repro.topology.placement import place_sites
 from repro.util.rng import RngStream
-from repro.util.validation import check_rebuild_policy
+from repro.util.validation import check_assembly_policy, check_rebuild_policy
 
 
 @dataclass
@@ -36,6 +36,11 @@ class SessionConfig:
     #: this session ("always" | "incremental" | "hybrid"); see
     #: :mod:`repro.core.incremental`.
     rebuild_policy: str = "always"
+    #: Default per-round problem assembly ("auto" | "diffed" |
+    #: "scratch"): whether the membership server re-derives the dense
+    #: cost/limit tables from the session every round or evolves the
+    #: previous round's problem (see :meth:`ForestProblem.evolve`).
+    problem_assembly: str = "auto"
     #: Default one-way control-link propagation delay between each RP
     #: and the membership service (event-driven control plane only;
     #: 0 = the synchronous degenerate case).
@@ -52,6 +57,7 @@ class SessionConfig:
                 f"displays_per_site must be >= 1, got {self.displays_per_site}"
             )
         check_rebuild_policy(self.rebuild_policy)
+        check_assembly_policy(self.problem_assembly)
         if self.control_delay_ms < 0:
             raise SessionError(
                 f"control_delay_ms must be >= 0, got {self.control_delay_ms}"
@@ -83,6 +89,9 @@ class TISession:
     #: session; :class:`~repro.pubsub.membership.MembershipServer`
     #: resolves its own ``rebuild_policy=None`` against this.
     rebuild_policy: str = "always"
+    #: Default per-round problem assembly for control planes over this
+    #: session; the server resolves ``problem_assembly=None`` against it.
+    problem_assembly: str = "auto"
     #: Default control-link delay / debounce window for the event-driven
     #: control plane; :class:`~repro.pubsub.service.MembershipService`
     #: resolves its own ``None`` knobs against these.
@@ -92,6 +101,7 @@ class TISession:
 
     def __post_init__(self) -> None:
         check_rebuild_policy(self.rebuild_policy)
+        check_assembly_policy(self.problem_assembly)
         if self.control_delay_ms < 0 or self.debounce_ms < 0:
             raise SessionError(
                 "control_delay_ms and debounce_ms must be >= 0, got "
@@ -202,6 +212,7 @@ def build_session(
         sites=sites,
         registry=registry,
         rebuild_policy=config.rebuild_policy,
+        problem_assembly=config.problem_assembly,
         control_delay_ms=config.control_delay_ms,
         debounce_ms=config.debounce_ms,
     )

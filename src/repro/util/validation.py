@@ -59,3 +59,23 @@ def check_rebuild_policy(value: str) -> str:
             f"unknown rebuild policy {value!r}; expected one of: {known}"
         )
     return value
+
+
+#: How a control plane assembles each round's :class:`ForestProblem`:
+#: ``scratch`` rebuilds the dense cost/limit tables from the session
+#: every round (O(N²), the paper's model); ``diffed`` evolves the
+#: previous round's problem via :meth:`ForestProblem.evolve`, patching
+#: only the changed groups; ``auto`` picks ``diffed`` whenever the
+#: rebuild policy is not ``always``.
+ASSEMBLY_POLICIES = ("auto", "diffed", "scratch")
+
+
+def check_assembly_policy(value: str) -> str:
+    """Require a known problem-assembly policy; return it for chaining."""
+    if value not in ASSEMBLY_POLICIES:
+        known = ", ".join(ASSEMBLY_POLICIES)
+        raise ConfigurationError(
+            f"unknown problem-assembly policy {value!r}; "
+            f"expected one of: {known}"
+        )
+    return value

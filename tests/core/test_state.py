@@ -29,11 +29,13 @@ def three_node_problem() -> ForestProblem:
 class TestInitialState:
     def test_m_is_static_per_paper(self):
         state = BuilderState(three_node_problem())
-        assert state.m == {0: 2, 1: 1, 2: 0}
+        assert list(state.m) == [2, 1, 0]
+        assert state.snapshot()["m"] == {0: 2, 1: 1, 2: 0}
 
     def test_m_hat_starts_zero_until_opened(self):
         state = BuilderState(three_node_problem())
-        assert state.m_hat == {0: 0, 1: 0, 2: 0}
+        assert list(state.m_hat) == [0, 0, 0]
+        assert state.snapshot()["m_hat"] == {0: 0, 1: 0, 2: 0}
 
     def test_open_group_reserves(self):
         state = BuilderState(three_node_problem())

@@ -335,3 +335,84 @@ class TestRebuildPolicy:
             1.0 + server.drift_budget
         ) + 1e-9
         assert len(adopted.rejected) <= len(scratch.rejected)
+
+
+class TestProblemAssembly:
+    def make_server(self, session, policy: str, assembly=None) -> MembershipServer:
+        return MembershipServer(
+            session=session,
+            builder=RandomJoinBuilder(),
+            latency_bound_ms=150.0,
+            rebuild_policy=policy,
+            problem_assembly=assembly,
+        )
+
+    def subscribe(self, server, session, sites=(0, 1)) -> None:
+        advertise_all(server, session)
+        for site in sites:
+            other = (site + 1) % session.n_sites
+            server.register_subscription(
+                SiteSubscription(
+                    site=site,
+                    streams=tuple(sorted(session.site(other).stream_ids))[:2],
+                )
+            )
+
+    def test_unknown_assembly_rejected(self, small_session):
+        with pytest.raises(ConfigurationError):
+            self.make_server(small_session, "always", "lazy")
+
+    def test_assembly_defaults_to_session(self, small_session):
+        server = self.make_server(small_session, "always")
+        assert server.problem_assembly == "auto"
+
+    def test_auto_under_always_stays_scratch(self, small_session):
+        server = self.make_server(small_session, "always")
+        self.subscribe(server, small_session)
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        server.build_overlay(rng.spawn("r2"))
+        assert (server.assemblies_diffed, server.assemblies_scratch) == (0, 2)
+        assert server.last_assembly == "scratch"
+
+    def test_auto_under_incremental_diffs_after_bootstrap(self, small_session):
+        server = self.make_server(small_session, "incremental")
+        self.subscribe(server, small_session)
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        assert server.last_assembly == "scratch"  # no previous problem
+        server.build_overlay(rng.spawn("r2"))
+        assert server.last_assembly == "diffed"
+        assert (server.assemblies_diffed, server.assemblies_scratch) == (1, 1)
+
+    def test_evolved_rounds_share_dense_matrix(self, small_session):
+        server = self.make_server(small_session, "incremental")
+        self.subscribe(server, small_session)
+        rng = RngStream(5, label="t")
+        server.build_overlay(rng.spawn("r1"))
+        first = server.last_result.problem
+        server.register_subscription(
+            SiteSubscription(
+                site=2,
+                streams=tuple(sorted(small_session.site(0).stream_ids))[:1],
+            )
+        )
+        server.build_overlay(rng.spawn("r2"))
+        second = server.last_result.problem
+        assert second is not first
+        assert second.dense_cost_matrix() is first.dense_cost_matrix()
+
+    def test_forced_diffed_matches_scratch_directives(self, small_session):
+        """Same registrations, both assemblies: identical directives."""
+        rounds = []
+        for assembly in ("diffed", "scratch"):
+            server = self.make_server(small_session, "incremental", assembly)
+            self.subscribe(server, small_session)
+            rng = RngStream(5, label="t")
+            directives = [server.build_overlay(rng.spawn("r1"))]
+            server.withdraw_site(1)
+            directives.append(server.build_overlay(rng.spawn("r2")))
+            self.subscribe(server, small_session, sites=(1, 3))
+            directives.append(server.build_overlay(rng.spawn("r3")))
+            rounds.append(directives)
+        assert rounds[0] == rounds[1]

@@ -248,3 +248,23 @@ class TestOverlapDetection:
         sim.run()
         assert len(service.rounds) == 2
         assert service.overlapping_rounds() == 0
+
+
+class TestAssemblyThroughService:
+    """The async plane shares the server, hence the evolved problem."""
+
+    def test_rounds_record_assembly_mode(self, small_session):
+        small_session.rebuild_policy = "incremental"
+        system, service, sim = make_service(small_session)
+        system.subscribe_display(
+            0, "disp-0-0", list(small_session.site(1).stream_ids)[:2]
+        )
+        announce_all(system, service)
+        sim.run()
+        system.subscribe_display(
+            0, "disp-0-0", list(small_session.site(2).stream_ids)[:2]
+        )
+        service.subscribe(system.rps[0].aggregate_subscription())
+        sim.run()
+        assert [r.assembly for r in service.rounds] == ["scratch", "diffed"]
+        assert system.server.assemblies_diffed == 1

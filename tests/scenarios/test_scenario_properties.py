@@ -173,3 +173,48 @@ class TestPolicyMatrixStress:
         )
         assert incremental.mean_disruption <= always.mean_disruption
         assert hybrid.mean_disruption <= always.mean_disruption
+
+
+@pytest.mark.stress
+class TestDiffedAssemblyHighChurn:
+    """An audited high-churn scenario on the diffed-assembly path.
+
+    This is the diffed-assembly acceptance net: a long mixed-churn run
+    (every event kind, tripled event counts, a large pool) whose every
+    round evolves the previous problem instead of rebuilding it — the
+    auditor re-derives every structural invariant per round, so one run
+    checks the whole patch machinery under adversarial diffs.
+    """
+
+    def high_churn_spec(self, sites: int, seed: int):
+        base = policy_spec("mixed-churn", sites, seed, "incremental")
+        schedule = tuple(
+            replace(phase, count=phase.count * 3) for phase in base.schedule
+        )
+        return replace(
+            base,
+            name="high-churn-diffed",
+            schedule=schedule,
+            problem_assembly="diffed",
+        )
+
+    @pytest.mark.parametrize("seed", (13, 29))
+    @pytest.mark.parametrize("sites", (16, 32))
+    def test_auditor_clean_every_round(self, sites, seed):
+        report = run_scenario(self.high_churn_spec(sites, seed))
+        assert report.audit is not None and report.ok, report.summary()
+        # Every round past the bootstrap ran the diffed path.
+        assert report.assemblies_scratch == 1
+        assert report.assemblies_diffed == report.rounds - 1
+        assert report.rounds > 2 * sites  # genuinely high churn
+
+    def test_diffed_matches_scratch_under_high_churn(self):
+        spec = self.high_churn_spec(16, seed=13)
+        diffed_rt = ScenarioRuntime(spec)
+        scratch_rt = ScenarioRuntime(
+            replace(spec, problem_assembly="scratch")
+        )
+        diffed = diffed_rt.run()
+        scratch = scratch_rt.run()
+        assert diffed_rt.directives == scratch_rt.directives
+        assert diffed.audit.digest == scratch.audit.digest
