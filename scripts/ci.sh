@@ -16,8 +16,20 @@ if [[ "${1:-}" == "--full" ]]; then
     EXTRA+=(--runslow)
 fi
 
-echo "== tier-1 tests =="
-python -m pytest -x -q "${EXTRA[@]}"
+echo "== tier-1 tests (python array backend) =="
+TELE3D_BACKEND=python python -m pytest -x -q "${EXTRA[@]}"
+
+# The numpy kernels are pinned bit-identical to the python fallback, so
+# the whole suite must pass on both; skip the second pass only when the
+# environment has no numpy at all.
+if python -c "import numpy" >/dev/null 2>&1; then
+    echo
+    echo "== tier-1 tests (numpy array backend) =="
+    TELE3D_BACKEND=numpy python -m pytest -x -q "${EXTRA[@]}"
+else
+    echo
+    echo "ci.sh: numpy not importable, skipping numpy-backend pass"
+fi
 
 echo
 echo "== audited scenario smoke check =="

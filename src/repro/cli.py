@@ -21,6 +21,7 @@ and runs audited stress scenarios against the control plane::
 and the tracked performance baseline::
 
     tele3d perf sweep --sizes 16,32,64,128,256 --label PR3
+    tele3d perf sweep --sizes 256,1024 --backend python --label PYREF
     tele3d perf compare BENCH_PR2.json BENCH_PR3.json
     tele3d perf compare BENCH_PR3.json BENCH_CI.json --ratchet
     tele3d perf smoke
@@ -37,6 +38,7 @@ import time
 from dataclasses import replace
 from typing import Sequence
 
+from repro.core.backend import BACKEND_NAMES
 from repro.errors import Tele3DError
 from repro.util.validation import ASSEMBLY_POLICIES, REBUILD_POLICIES
 from repro.experiments.fig8 import run_fig8
@@ -143,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dirty-state window the service coalesces "
                                "before each build round (implies "
                                "--async-control; default 0)")
+    scen_run.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                          help="array backend for the run (python | numpy | "
+                               "auto); both are bit-identical, this is a "
+                               "performance knob only")
     scen_sub.add_parser("list", help="list the named scenarios")
 
     pdisr = sub.add_parser(
@@ -202,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="skip the event-driven baseline timing")
     perf_sweep.add_argument("--no-scenario", action="store_true",
                             help="skip the scenario-round timing")
+    perf_sweep.add_argument("--backend", default="auto",
+                            choices=BACKEND_NAMES,
+                            help="array backend to time (python | numpy | "
+                                 "auto = numpy when importable)")
     perf_compare = perf_sub.add_parser(
         "compare", help="diff two BENCH_*.json baselines"
     )
@@ -361,6 +371,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         spec = replace(spec, rebuild_policy=args.rebuild_policy)
     if args.problem_assembly:
         spec = replace(spec, problem_assembly=args.problem_assembly)
+    if args.backend:
+        spec = replace(spec, backend=args.backend)
     if (
         args.async_control
         or args.control_delay_ms is not None
@@ -446,6 +458,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
             label=args.label,
             with_event_plane=not args.no_event_plane,
             with_scenario=not args.no_scenario,
+            backend=args.backend,
         )
         print(report.summary())
         output = args.output or f"BENCH_{args.label}.json"

@@ -1,0 +1,346 @@
+"""Pluggable array backend for the dense overlay structures.
+
+The overlay hot paths operate on two very different shapes of data:
+
+* **scalar probes** — one ``dout[member]`` read, one ``rfc`` compare,
+  one cost lookup per candidate.  CPython list indexing is several
+  times faster than ``ndarray.__getitem__`` for these, so the
+  authoritative storage for degree tables, limit tables and dense cost
+  rows stays plain Python lists on *every* backend.
+* **bulk kernels** — whole-table rfc queries, large-tree parent scans,
+  per-tree data-plane arithmetic, bulk count patching.  These are where
+  numpy pays, and they are the only places the numpy backend diverges
+  from the reference implementation.
+
+Both backends are pinned bit-identical: every numpy kernel is either
+elementwise float64 arithmetic (IEEE-identical to the scalar loop), a
+``cumsum``-based left-to-right sum (numpy's pairwise ``np.sum`` is
+*not* used anywhere), or an ``argmax``/``argmin`` first-occurrence
+selection that matches the strict-inequality scalar loops.  The
+equivalence suites in ``tests/core/test_backend.py`` and the scenario
+digest matrix enforce this.
+
+Selection precedence: explicit argument > ``TELE3D_BACKEND`` env var >
+auto (numpy when importable, python otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+from operator import itemgetter as _itemgetter
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import ForestProblem
+    from repro.core.state import BuilderState
+    from repro.core.forest import MulticastTree
+    from repro.core.node_join import ParentPolicy
+
+__all__ = [
+    "ArrayBackend",
+    "PythonBackend",
+    "NumpyBackend",
+    "BACKEND_NAMES",
+    "BACKEND_ENV_VAR",
+    "check_backend_name",
+    "numpy_available",
+    "resolve_backend",
+]
+
+#: Accepted values for every ``backend`` knob (config, env, CLI).
+BACKEND_NAMES = ("auto", "python", "numpy")
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "TELE3D_BACKEND"
+
+_np = None
+_np_checked = False
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported (checked once, then cached)."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy  # noqa: PLC0415 - optional dependency probe
+
+            _np = numpy
+        except ImportError:  # pragma: no cover - depends on environment
+            _np = None
+    return _np is not None
+
+
+def check_backend_name(name: str) -> str:
+    """Validate a backend knob value, returning it unchanged."""
+    if name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return name
+
+
+class ArrayBackend:
+    """Reference (pure-Python) backend; also the fallback.
+
+    Subclasses override the bulk kernels; the scalar reference
+    implementations below define the pinned semantics.
+    """
+
+    name = "python"
+
+    #: Minimum tree size before ``try_join`` routes the parent scan
+    #: through :meth:`parent_scan` instead of the inline scalar loop.
+    #: Vectorized scans lose below ~128 members (the members/degree
+    #: gathers from the authoritative python-list state dominate), so
+    #: the python backend never dispatches and numpy gates at 128.
+    vector_scan_min: float = float("inf")
+
+    # -- bulk state queries ------------------------------------------------------
+
+    def rfc_bulk(
+        self,
+        out_limits: Sequence[int],
+        dout: Sequence[int],
+        m_hat: Sequence[int],
+    ):
+        """Remaining forwarding capacity ``O_i - dout_i - m̂_i`` for all i."""
+        return [o - d - m for o, d, m in zip(out_limits, dout, m_hat)]
+
+    def parent_scan(
+        self,
+        problem: "ForestProblem",
+        state: "BuilderState",
+        tree: "MulticastTree",
+        subscriber: int,
+        policy: "ParentPolicy",
+    ) -> int | None:
+        """Best attach point for ``subscriber`` in ``tree`` (or None).
+
+        The reference semantics live in the scalar loop in
+        :mod:`repro.core.node_join`; this delegates to it so the two can
+        never drift.
+        """
+        from repro.core.node_join import scan_parent_scalar
+
+        return scan_parent_scalar(problem, state, tree, subscriber, policy)
+
+    # -- data-plane kernels ------------------------------------------------------
+
+    #: Minimum frame-vector length before the data-plane kernels pay off
+    #: as ndarrays: below it, per-op dispatch overhead makes numpy ~2x
+    #: slower than the list comprehensions (measured crossover ~64).
+    plane_vector_min: float = float("inf")
+
+    def plane_kernels(self, n_frames: int) -> "ArrayBackend":
+        """The backend to run one tree's frame arithmetic on.
+
+        Both backends produce bit-identical reports, so this is purely a
+        cost decision: short frame vectors (the default 1 s sweep run is
+        16 frames) stay on the list kernels even under numpy.
+        """
+        if n_frames < self.plane_vector_min:
+            return _python_backend
+        return self
+
+    def as_vector(self, values: list[float]):
+        """Adopt a list of floats as this backend's vector type."""
+        return values
+
+    def shift(self, values, delta: float):
+        """Elementwise ``values + delta``."""
+        return [v + delta for v in values]
+
+    def deltas(self, a, b):
+        """Elementwise ``a - b``."""
+        return [x - y for x, y in zip(a, b)]
+
+    def seq_sum(self, values) -> float:
+        """Left-to-right float sum (the event-plane accumulation order)."""
+        return float(sum(values))
+
+    def vec_max(self, values) -> float:
+        """Maximum of a non-empty vector."""
+        return float(max(values))
+
+    # -- delta patching ----------------------------------------------------------
+
+    def apply_count_deltas(
+        self, counts: list[int], deltas: Iterable[tuple[int, int]]
+    ) -> None:
+        """Apply ``counts[i] += d`` for every ``(i, d)`` pair, in place."""
+        for index, delta in deltas:
+            counts[index] += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Alias with the conventional name for the fallback backend.
+PythonBackend = ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """numpy bulk kernels, pinned bit-identical to the reference.
+
+    Every kernel here is restricted to operations with scalar-identical
+    float64 semantics; see the module docstring.
+    """
+
+    name = "numpy"
+    vector_scan_min = 128
+    plane_vector_min = 64
+
+    #: Below this many pairs, the scalar patch loop beats ``np.add.at``.
+    _count_patch_min = 512
+
+    def __init__(self) -> None:
+        if not numpy_available():  # pragma: no cover - guarded by resolver
+            raise ConfigurationError("numpy backend requested but numpy is not importable")
+        self._np = _np
+
+    def rfc_bulk(self, out_limits, dout, m_hat):
+        np = self._np
+        out = np.asarray(out_limits, dtype=np.int64)
+        return out - np.asarray(dout, dtype=np.int64) - np.asarray(m_hat, dtype=np.int64)
+
+    def limits_array(self, table) -> "object":
+        """ndarray mirror of a limit table's flat twin (cached on it).
+
+        The mirror is boxed next to the flat twin, so every table
+        sharing the twin (copy-on-write views) shares the mirror too:
+        any write through any of them drops it, and the fork re-boxes —
+        a cached array can never go stale.
+        """
+        cell = table._arr_cell
+        arr = cell[0]
+        if arr is None:
+            arr = cell[0] = self._np.asarray(
+                table._flat, dtype=self._np.int64
+            )
+        return arr
+
+    def _gather_int(self, values: list, keys: list):
+        """``[values[k] for k in keys]`` as an int64 array, at C speed."""
+        np = self._np
+        if len(keys) == 1:
+            return np.asarray([values[keys[0]]], dtype=np.int64)
+        return np.asarray(_itemgetter(*keys)(values), dtype=np.int64)
+
+    def parent_scan(self, problem, state, tree, subscriber, policy):
+        from repro.core.node_join import ParentPolicy
+
+        np = self._np
+        path_costs = tree.path_costs()
+        mlist = list(path_costs)
+        n = len(mlist)
+        members = np.asarray(mlist, dtype=np.intp)
+        from_source = np.fromiter(path_costs.values(), dtype=np.float64, count=n)
+        col = problem.dense_cost_matrix().column_array(subscriber)
+        limits = self.limits_array(problem.outbound)[members]
+        degrees = self._gather_int(state.dout, mlist)
+        path_cost = from_source + col[members]
+        eligible = (degrees < limits) & (path_cost < problem.latency_bound_ms)
+        if policy is ParentPolicy.FIRST_FIT:
+            hits = np.flatnonzero(eligible)
+            return int(members[hits[0]]) if hits.size else None
+        if policy is ParentPolicy.MIN_COST:
+            masked = np.where(eligible, path_cost, np.inf)
+            best = int(np.argmin(masked))
+            return int(members[best]) if np.isfinite(masked[best]) else None
+        # MAX_RFC.  The scalar loop special-cases the source: when the
+        # source has not disseminated yet it becomes the provisional best
+        # *without* entering the rfc competition, and any member with
+        # rfc > 0 (strict) takes over.  argmax is first-occurrence, which
+        # matches the strict-> scan in attach order.
+        reservations = self._gather_int(state.m_hat, mlist)
+        rfc = limits - degrees - reservations
+        source = tree.source
+        fallback = None
+        in_competition = eligible
+        if not tree.disseminated:
+            is_source = members == source
+            src_hits = np.flatnonzero(is_source & eligible)
+            if src_hits.size:
+                fallback = source
+            in_competition = eligible & ~is_source
+        masked = np.where(in_competition, rfc, 0)
+        best = int(np.argmax(masked))
+        if masked[best] > 0:
+            return int(members[best])
+        return fallback
+
+    # -- data-plane kernels ------------------------------------------------------
+
+    def as_vector(self, values):
+        return self._np.asarray(values, dtype=self._np.float64)
+
+    def shift(self, values, delta):
+        return values + delta
+
+    def deltas(self, a, b):
+        return a - b
+
+    def seq_sum(self, values) -> float:
+        if len(values) == 0:  # pragma: no cover - trees always deliver frames
+            return 0.0
+        # cumsum accumulates left-to-right like the event plane's loop;
+        # np.sum's pairwise reduction would not be bit-identical.
+        return float(self._np.cumsum(values)[-1])
+
+    def vec_max(self, values) -> float:
+        return float(values.max())
+
+    # -- delta patching ----------------------------------------------------------
+
+    def apply_count_deltas(self, counts, deltas):
+        pairs = deltas if isinstance(deltas, list) else list(deltas)
+        if len(pairs) < self._count_patch_min:
+            for index, delta in pairs:
+                counts[index] += delta
+            return
+        np = self._np
+        arr = np.asarray(counts, dtype=np.int64)
+        idx = np.fromiter((p[0] for p in pairs), dtype=np.intp, count=len(pairs))
+        dlt = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+        np.add.at(arr, idx, dlt)
+        counts[:] = arr.tolist()
+
+
+_python_backend = ArrayBackend()
+_numpy_backend: NumpyBackend | None = None
+
+
+def _get_numpy_backend() -> NumpyBackend:
+    global _numpy_backend
+    if _numpy_backend is None:
+        _numpy_backend = NumpyBackend()
+    return _numpy_backend
+
+
+def resolve_backend(name: "str | ArrayBackend | None" = None) -> ArrayBackend:
+    """Resolve a backend knob to a backend instance.
+
+    ``name`` may be an existing backend instance (returned unchanged),
+    one of :data:`BACKEND_NAMES`, or ``None``/"auto" to consult
+    ``TELE3D_BACKEND`` and fall back to auto-detection.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    if name in (None, "auto"):
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        if env and env != "auto":
+            name = env
+        else:
+            return _get_numpy_backend() if numpy_available() else _python_backend
+    check_backend_name(name)
+    if name == "python":
+        return _python_backend
+    if not numpy_available():
+        raise ConfigurationError(
+            "numpy backend requested (via argument or TELE3D_BACKEND) "
+            "but numpy is not importable; use backend='python' or 'auto'"
+        )
+    return _get_numpy_backend()

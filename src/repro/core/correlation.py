@@ -155,48 +155,60 @@ class CorrelatedRandomJoinBuilder(RandomJoinBuilder):
         forest: OverlayForest,
         request: SubscriptionRequest,
     ) -> _Swap | None:
-        """Scan constructed trees for the best victim meeting all 4 conditions."""
+        """Find the best victim meeting all 4 conditions.
+
+        Candidates are enumerated from the subscriber's sparse ``u`` row
+        crossed with the problem's streams-by-source index rather than by
+        probing every constructed tree: only sites the subscriber
+        actually requests can yield a finite victim criticality, and
+        condition (2) restricts victims to trees the subscriber is a
+        member of — both of which the old full-forest scan rediscovered
+        per tree.  The winner is the minimum under the total order
+        ``(criticality, str(stream))``, so enumeration order is
+        irrelevant and the selection is bit-identical to the full scan.
+        """
         subscriber = request.subscriber
-        # One bulk fetch each of the subscriber's u-row and dense cost
-        # column; the per-tree loop below then probes arrays instead of
-        # paying two dict hops per criticality/cost lookup.
         u_row = problem.u_row(subscriber)
         own_u = u_row.get(request.source, 0)
         own_q = float("inf") if own_u == 0 else 1.0 / own_u
         target_tree = forest.tree(request.stream)
         best: _Swap | None = None
         cost_to_subscriber = problem.costs_to(subscriber)
-        for stream, tree in forest.trees.items():
-            if stream.site == request.source:  # condition (1): k != j
+        trees = forest.trees
+        by_source = problem.streams_by_source()
+        bound = problem.latency_bound_ms
+        for site, victim_u in u_row.items():
+            if site == request.source:  # condition (1): k != j
                 continue
-            victim_u = u_row.get(stream.site, 0)
-            if victim_u == 0:
-                continue  # nothing requested: infinite criticality
             victim_q = 1.0 / victim_u
             if not victim_q < own_q:  # condition (1): strictly less critical
                 continue
-            if not tree.is_leaf(subscriber):  # condition (2)
-                continue
-            parent = tree.parent(subscriber)
-            if parent is None or parent not in target_tree:  # condition (3)
-                continue
-            new_cost = (
-                target_tree.cost_from_source(parent)
-                + cost_to_subscriber[parent]
-            )
-            if new_cost >= problem.latency_bound_ms:  # condition (4)
-                continue
-            candidate = _Swap(
-                victim=SubscriptionRequest(subscriber=subscriber, stream=stream),
-                victim_tree=tree,
-                parent=parent,
-                quality=victim_q,
-            )
-            if best is None or (candidate.quality, str(stream)) < (
-                best.quality,
-                str(best.victim.stream),
-            ):
-                best = candidate
+            for stream in by_source.get(site, ()):
+                tree = trees.get(stream)
+                if tree is None or not tree.is_leaf(subscriber):  # condition (2)
+                    continue
+                parent = tree.parent(subscriber)
+                if parent is None or parent not in target_tree:  # condition (3)
+                    continue
+                new_cost = (
+                    target_tree.cost_from_source(parent)
+                    + cost_to_subscriber[parent]
+                )
+                if new_cost >= bound:  # condition (4)
+                    continue
+                candidate = _Swap(
+                    victim=SubscriptionRequest(
+                        subscriber=subscriber, stream=stream
+                    ),
+                    victim_tree=tree,
+                    parent=parent,
+                    quality=victim_q,
+                )
+                if best is None or (candidate.quality, str(stream)) < (
+                    best.quality,
+                    str(best.victim.stream),
+                ):
+                    best = candidate
         return best
 
     def _apply_swap(

@@ -79,11 +79,19 @@ class MulticastGroup:
         return len(self.subscribers)
 
     def requests(self) -> list[SubscriptionRequest]:
-        """The group's requests in deterministic (sorted) order."""
-        return [
-            SubscriptionRequest(subscriber=i, stream=self.stream)
-            for i in sorted(self.subscribers)
-        ]
+        """The group's requests in deterministic (sorted) order.
+
+        The expansion is cached on the (frozen) group; each call returns
+        a fresh list so callers may reorder it freely.
+        """
+        cached = getattr(self, "_requests", None)
+        if cached is None:
+            cached = tuple(
+                SubscriptionRequest(subscriber=i, stream=self.stream)
+                for i in sorted(self.subscribers)
+            )
+            object.__setattr__(self, "_requests", cached)
+        return list(cached)
 
     def __str__(self) -> str:
         members = ",".join(str(i) for i in sorted(self.subscribers))

@@ -69,6 +69,16 @@ class JoinOutcome:
             raise OverlayError("rejected join must carry a reason")
 
 
+# Rejections carry no per-attempt data, so the two possible outcomes are
+# shared singletons (tens of thousands are produced per sweep build).
+_REJECT_INBOUND = JoinOutcome(
+    accepted=False, reason=RejectionReason.INBOUND_SATURATED
+)
+_REJECT_TREE = JoinOutcome(
+    accepted=False, reason=RejectionReason.TREE_SATURATED
+)
+
+
 def try_join(
     problem: ForestProblem,
     state: BuilderState,
@@ -87,19 +97,17 @@ def try_join(
             f"node {subscriber} is already in tree {tree.stream}"
         )
     if not state.inbound_free(subscriber):
-        return JoinOutcome(
-            accepted=False, reason=RejectionReason.INBOUND_SATURATED
-        )
+        return _REJECT_INBOUND
 
     candidate = _find_parent(problem, state, tree, subscriber, policy)
     if candidate is None:
-        return JoinOutcome(accepted=False, reason=RejectionReason.TREE_SATURATED)
+        return _REJECT_TREE
 
     edge_cost = problem.edge_cost(candidate, subscriber)
     path_cost = tree.cost_from_source(candidate) + edge_cost
     tree.attach(candidate, subscriber, edge_cost)
     state.record_attach(tree, candidate, subscriber)
-    return JoinOutcome(accepted=True, parent=candidate, path_cost_ms=path_cost)
+    return JoinOutcome(True, candidate, path_cost)
 
 
 def _find_parent(
@@ -111,10 +119,32 @@ def _find_parent(
 ) -> int | None:
     """Select a parent for ``subscriber`` under ``policy``; None if saturated.
 
+    Small trees (the common case at the paper's group sizes) run the
+    scalar scan below; once a tree outgrows the backend's
+    ``vector_scan_min`` the scan dispatches to the backend's masked
+    argmax/argmin kernel, which is pinned to identical selections.
+    """
+    backend = problem.array_backend
+    if len(tree) >= backend.vector_scan_min:
+        return backend.parent_scan(problem, state, tree, subscriber, policy)
+    return scan_parent_scalar(problem, state, tree, subscriber, policy)
+
+
+def scan_parent_scalar(
+    problem: ForestProblem,
+    state: BuilderState,
+    tree: MulticastTree,
+    subscriber: int,
+    policy: ParentPolicy,
+) -> int | None:
+    """The reference parent scan (scalar probes, one pass in attach order).
+
     One pass over the tree members against the precomputed dense cost
     column of the subscriber — no per-candidate dict-of-dict hops.  The
     degree/reservation tables are likewise read directly: this loop is
-    the innermost hot path of every overlay build.
+    the innermost hot path of every overlay build, and it defines the
+    selection semantics every vectorized backend kernel must reproduce
+    (first-occurrence ties, strictly-positive rfc, source special-case).
     """
     best: int | None = None
     best_rfc = 0  # MAX_RFC requires strictly positive rfc (paper's max <- 0)

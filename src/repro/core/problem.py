@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.errors import ConfigurationError, SubscriptionError
+from repro.core.backend import ArrayBackend, resolve_backend
 from repro.core.model import MulticastGroup, SubscriptionRequest
 from repro.session.session import TISession
 from repro.topology.dense import DenseCostMatrix
@@ -56,9 +57,77 @@ class _CostRow(dict):
         self._row_index = row_index
 
     def __setitem__(self, key, value) -> None:
+        if not isinstance(key, int) or not 0 <= key < self._matrix.n:
+            # A silent dict-only write would diverge from the dense
+            # matrix the hot paths actually read.
+            raise ConfigurationError(
+                f"unknown node {key!r} in cost row {self._row_index} "
+                f"(nodes are 0..{self._matrix.n - 1})"
+            )
         super().__setitem__(key, value)
+        self._matrix.set_cost(self._row_index, key, value)
+
+    def update(self, *args, **kwargs) -> None:
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self[key] = default
+        return self[key]
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+
+class _LazyCostTable(dict):
+    """A ``cost[a][b]`` surface materialized on demand from the dense matrix.
+
+    The trusted assembly path (:meth:`ForestProblem.from_workload`)
+    builds the dense matrix directly from the session; materializing the
+    full dict-of-dicts up front costs O(N²) time and memory that nothing
+    on the hot paths ever reads.  Rows appear (as write-through
+    :class:`_CostRow` views) the first time test-land code indexes them;
+    iteration surfaces behave like the fully-populated dict.
+    """
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: DenseCostMatrix):
+        super().__init__()
+        self._matrix = matrix
+
+    def __missing__(self, key):
         if isinstance(key, int) and 0 <= key < self._matrix.n:
-            self._matrix.set_cost(self._row_index, key, value)
+            row = self._matrix.row(key)
+            view = _CostRow(
+                {j: row[j] for j in range(self._matrix.n)}, self._matrix, key
+            )
+            dict.__setitem__(self, key, view)
+            return view
+        raise KeyError(key)
+
+    def __len__(self) -> int:
+        return self._matrix.n
+
+    def __iter__(self):
+        return iter(range(self._matrix.n))
+
+    def __contains__(self, key) -> bool:
+        return isinstance(key, int) and 0 <= key < self._matrix.n
+
+    def get(self, key, default=None):
+        return self[key] if key in self else default
+
+    def keys(self):
+        return range(self._matrix.n)
+
+    def values(self):
+        return [self[i] for i in range(self._matrix.n)]
+
+    def items(self):
+        return [(i, self[i]) for i in range(self._matrix.n)]
 
 
 class _LimitTable(dict):
@@ -70,18 +139,51 @@ class _LimitTable(dict):
     visible to both.  ``update``/``setdefault`` route through
     ``__setitem__`` for the same reason, and entry removal is refused —
     every node 0..n-1 must keep a bound.
+
+    Evolved problems get copy-on-write views (:meth:`cow_view`): the
+    flat twin is shared with the ancestor round until the first write,
+    which forks it — so ``problem.inbound[v] = 0`` on round *t* can
+    never leak into round *t-1*'s retained problem.
     """
 
-    __slots__ = ("_flat",)
+    __slots__ = ("_flat", "_owns", "_arr_cell")
 
-    def __init__(self, data: Mapping, flat: list[int]):
+    def __init__(
+        self,
+        data: Mapping,
+        flat: list[int],
+        owns: bool = True,
+        arr_cell: "list | None" = None,
+    ):
         super().__init__(data)
         self._flat = flat
+        self._owns = owns
+        # Backend-owned ndarray mirror of ``_flat``, boxed so every
+        # table sharing the flat twin shares the mirror too (see
+        # ``NumpyBackend.limits_array``).  Writes drop it; the
+        # copy-on-write fork re-boxes, leaving the ancestor's intact.
+        self._arr_cell = [None] if arr_cell is None else arr_cell
+
+    def cow_view(self) -> "_LimitTable":
+        """An independent dict copy sharing the flat twin until written."""
+        return type(self)(self, self._flat, owns=False, arr_cell=self._arr_cell)
 
     def __setitem__(self, key, value) -> None:
+        flat = self._flat
+        if not isinstance(key, int) or not 0 <= key < len(flat):
+            # A silent dict-only write would diverge from the flat twin
+            # the hot paths actually read.
+            raise ConfigurationError(
+                f"unknown node {key!r} in degree-bound table "
+                f"(nodes are 0..{len(flat) - 1})"
+            )
+        if not self._owns:
+            flat = self._flat = list(flat)
+            self._owns = True
+            self._arr_cell = [None]
         super().__setitem__(key, value)
-        if isinstance(key, int) and 0 <= key < len(self._flat):
-            self._flat[key] = value
+        flat[key] = value
+        self._arr_cell[0] = None
 
     def update(self, *args, **kwargs) -> None:
         for key, value in dict(*args, **kwargs).items():
@@ -168,8 +270,10 @@ class ForestProblem:
     outbound: dict[int, int]
     groups: list[MulticastGroup]
     latency_bound_ms: float
+    backend: "str | ArrayBackend | None" = None
 
     def __post_init__(self) -> None:
+        self._backend = resolve_backend(self.backend)
         if self.n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
         if self.latency_bound_ms <= 0:
@@ -201,7 +305,7 @@ class ForestProblem:
         # Contiguous form consumed by every latency probe below.  The
         # ``cost`` rows become write-through views so in-place tweaks
         # stay visible to the dense matrix.
-        self._dense = DenseCostMatrix(dense_rows)
+        self._dense = DenseCostMatrix(dense_rows, backend=self._backend)
         self.cost = {
             node: _CostRow(self.cost[node], self._dense, node)
             for node in range(self.n_nodes)
@@ -209,10 +313,8 @@ class ForestProblem:
         # Flat, node-indexed limit twins for the hot paths; the dicts
         # above become write-through views so test-land tweaks like
         # ``problem.inbound[v] = 0`` stay visible to both surfaces.
-        self._inbound_limits = inbound_limits
-        self._outbound_limits = outbound_limits
-        self.inbound = _LimitTable(self.inbound, self._inbound_limits)
-        self.outbound = _LimitTable(self.outbound, self._outbound_limits)
+        self.inbound = _LimitTable(self.inbound, inbound_limits)
+        self.outbound = _LimitTable(self.outbound, outbound_limits)
         seen_streams: set[StreamId] = set()
         for group in self.groups:
             if group.stream in seen_streams:
@@ -221,6 +323,8 @@ class ForestProblem:
             self._check_group(group)
         self._u: dict[int, dict[int, int]] = self._compute_u()
         self._m_table: list[int] = self._compute_m()
+        self._requests_cache: tuple[SubscriptionRequest, ...] | None = None
+        self._streams_by_source: dict[int, tuple[StreamId, ...]] | None = None
 
     def _check_group(self, group: MulticastGroup) -> None:
         if not 0 <= group.source < self.n_nodes:
@@ -275,11 +379,37 @@ class ForestProblem:
         return sum(group.size for group in self.groups)
 
     def all_requests(self) -> list[SubscriptionRequest]:
-        """Every request, grouped by stream, in deterministic order."""
-        out: list[SubscriptionRequest] = []
-        for group in sorted(self.groups, key=lambda g: g.stream):
-            out.extend(group.requests())
-        return out
+        """Every request, grouped by stream, in deterministic order.
+
+        Groups are immutable after construction, so the expansion is
+        computed once; each call returns a fresh list (builders shuffle
+        it in place).
+        """
+        cached = self._requests_cache
+        if cached is None:
+            out: list[SubscriptionRequest] = []
+            for group in sorted(self.groups, key=lambda g: g.stream):
+                out.extend(group.requests())
+            cached = self._requests_cache = tuple(out)
+        return list(cached)
+
+    def streams_by_source(self) -> dict[int, tuple[StreamId, ...]]:
+        """Streams grouped by publishing site (cached, read-only).
+
+        The CO-RJ victim scan enumerates candidate trees per *site* of
+        the subscriber's ``u`` row; this index turns that from a probe
+        over every constructed tree into a probe over the handful of
+        streams those sites publish.
+        """
+        by = self._streams_by_source
+        if by is None:
+            acc: dict[int, list[StreamId]] = {}
+            for group in self.groups:
+                acc.setdefault(group.source, []).append(group.stream)
+            by = self._streams_by_source = {
+                source: tuple(streams) for source, streams in acc.items()
+            }
+        return by
 
     def edge_cost(self, a: int, b: int) -> float:
         """Latency cost ``c(a, b)`` between two RP nodes."""
@@ -304,17 +434,22 @@ class ForestProblem:
         """The shared dense cost matrix (read-only)."""
         return self._dense
 
+    @property
+    def array_backend(self) -> ArrayBackend:
+        """The resolved array backend shared by this problem's structures."""
+        return self._backend
+
     def inbound_limit(self, node: int) -> int:
         """``I(node)`` in stream units."""
-        return self._inbound_limits[node]
+        return self.inbound._flat[node]
 
     def outbound_limit(self, node: int) -> int:
         """``O(node)`` in stream units."""
-        return self._outbound_limits[node]
+        return self.outbound._flat[node]
 
     def inbound_limits(self) -> list[int]:
         """``I`` for every node, indexable by node id (shared, read-only)."""
-        return self._inbound_limits
+        return self.inbound._flat
 
     def outbound_limits(self) -> list[int]:
         """``O`` for every node, indexable by node id (shared, read-only).
@@ -322,7 +457,7 @@ class ForestProblem:
         This is the parent-search access pattern: one bulk fetch, then
         O(1) probes per candidate instead of a dict hop each.
         """
-        return self._outbound_limits
+        return self.outbound._flat
 
     def streams_to_send(self, node: int) -> int:
         """The paper's ``m_i``: streams of ``node`` wanted by >= 1 other RP.
@@ -347,7 +482,14 @@ class ForestProblem:
         workload: SubscriptionWorkload,
         latency_bound_ms: float,
     ) -> "ForestProblem":
-        """Assemble a problem instance from a session and one workload sample."""
+        """Assemble a problem instance from a session and one workload sample.
+
+        The session's cost matrix is topology-derived (validated dense,
+        non-negative by construction), so this path skips the O(N²)
+        entry-by-entry re-validation of the table constructor and builds
+        the dense matrix directly; the dict-of-dicts ``cost`` surface is
+        materialized lazily for test-land consumers.
+        """
         if workload.n_sites != session.n_sites:
             raise SubscriptionError(
                 f"workload covers {workload.n_sites} sites but session has "
@@ -359,18 +501,42 @@ class ForestProblem:
                     raise SubscriptionError(
                         f"site {site} subscribes to unpublished stream {stream}"
                     )
+        if latency_bound_ms <= 0:
+            raise ConfigurationError(
+                f"latency_bound_ms must be positive, got {latency_bound_ms}"
+            )
         groups = [
             MulticastGroup(stream=stream, subscribers=members)
             for stream, members in sorted(workload.groups().items())
         ]
-        return cls(
-            n_nodes=session.n_sites,
-            cost=session.cost_matrix(),
-            inbound={s.index: s.rp.inbound_limit for s in session.sites},
-            outbound={s.index: s.rp.outbound_limit for s in session.sites},
-            groups=groups,
-            latency_bound_ms=latency_bound_ms,
+        n_nodes = session.n_sites
+        backend = session.array_backend
+        problem = cls.__new__(cls)
+        problem.n_nodes = n_nodes
+        problem.latency_bound_ms = latency_bound_ms
+        problem.backend = backend
+        problem._backend = backend
+        # Own copy of the session rows: problems may be cost-tweaked in
+        # place (tests, what-if probes) without touching the session.
+        rows = [list(row) for row in session.dense_cost_matrix().rows()]
+        problem._dense = DenseCostMatrix(rows, backend=backend)
+        problem.cost = _LazyCostTable(problem._dense)
+        inbound = {s.index: s.rp.inbound_limit for s in session.sites}
+        outbound = {s.index: s.rp.outbound_limit for s in session.sites}
+        problem.inbound = _LimitTable(
+            inbound, [inbound[i] for i in range(n_nodes)]
         )
+        problem.outbound = _LimitTable(
+            outbound, [outbound[i] for i in range(n_nodes)]
+        )
+        problem.groups = groups
+        for group in groups:
+            problem._check_group(group)
+        problem._u = problem._compute_u()
+        problem._m_table = problem._compute_m()
+        problem._requests_cache = None
+        problem._streams_by_source = None
+        return problem
 
     @classmethod
     def from_tables(
@@ -415,10 +581,12 @@ class ForestProblem:
 
         The result is equivalent to a from-scratch assembly of the same
         workload: equal costs, limits, groups, ``u`` and ``m``, hence
-        bit-identical build results under the same RNG.  Because tables
-        are shared, in-place tweaks (``problem.cost[a][b] = x``) are
-        visible across every problem evolved from the same ancestor —
-        the control plane treats them as read-only.
+        bit-identical build results under the same RNG.  Cost tables are
+        shared (tweaks like ``problem.cost[a][b] = x`` are visible across
+        every problem evolved from the same ancestor — the control plane
+        treats them as read-only); limit tables are copy-on-write views,
+        so ``problem.inbound[v] = 0`` on the evolved problem forks its
+        table instead of corrupting the previous round's.
 
         Unlike :meth:`from_workload`, ``evolve`` has no session to
         check subscriptions against, so streams are **caller-trusted**:
@@ -451,13 +619,18 @@ class ForestProblem:
         problem = cls.__new__(cls)
         problem.n_nodes = prev.n_nodes
         problem.cost = prev.cost
-        problem.inbound = prev.inbound
-        problem.outbound = prev.outbound
+        # Copy-on-write limit views: the dict surface is per-round, the
+        # flat twin is shared with ``prev`` until the first write forks
+        # it — so round-t tweaks can never leak into round t-1.
+        problem.inbound = prev.inbound.cow_view()
+        problem.outbound = prev.outbound.cow_view()
         problem.groups = groups
         problem.latency_bound_ms = prev.latency_bound_ms
+        problem.backend = prev.backend
+        problem._backend = prev._backend
         problem._dense = prev._dense
-        problem._inbound_limits = prev._inbound_limits
-        problem._outbound_limits = prev._outbound_limits
+        problem._requests_cache = None
+        problem._streams_by_source = None
         if delta.empty:
             problem._u = prev._u
             problem._m_table = prev._m_table
@@ -468,10 +641,11 @@ class ForestProblem:
             problem._check_group(group)
         problem._u = cls._patch_u(prev._u, delta)
         m_table = list(prev._m_table)
-        for group in delta.removed:
-            m_table[group.source] -= 1
-        for group in delta.added:
-            m_table[group.source] += 1
+        prev._backend.apply_count_deltas(
+            m_table,
+            [(group.source, -1) for group in delta.removed]
+            + [(group.source, +1) for group in delta.added],
+        )
         problem._m_table = m_table
         return problem
 

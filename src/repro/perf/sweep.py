@@ -40,6 +40,22 @@ from repro.workload.coverage import CoverageWorkloadModel
 #: The tracked sweep sizes (acceptance: 16..256).
 DEFAULT_SIZES = (16, 32, 64, 128, 256)
 
+#: Extended sizes for the array-backend baselines: the numpy kernels
+#: only separate from the python fallback once trees cross the
+#: vectorization threshold, which needs sessions this large.
+EXTENDED_SIZES = DEFAULT_SIZES + (1024, 4096)
+
+#: The event-driven plane replays every hop of every frame as a heap
+#: event — beyond this size one repeat takes minutes, so larger sweep
+#: cases time the fast plane only (equivalence is still pinned at every
+#: size up to the cap).
+EVENT_PLANE_MAX_SITES = 256
+
+#: Scenario rounds re-solve the overlay per churn event; beyond this
+#: size a single case dominates the whole sweep, so larger cases track
+#: build + fast plane only.
+SCENARIO_MAX_SITES = 1024
+
 #: Sweep workload shape: modest per-site fan-out so the event-driven
 #: plane stays runnable at N=256 while trees stay deep enough to matter.
 DEFAULT_STREAMS_PER_SITE = 4
@@ -220,18 +236,23 @@ def reports_equal(a: DataPlaneReport, b: DataPlaneReport) -> bool:
     return True
 
 
-def _sweep_session(n_sites: int, seed: int, streams_per_site: int) -> TISession:
+def _sweep_session(
+    n_sites: int, seed: int, streams_per_site: int, backend: str = "auto"
+) -> TISession:
     """A deterministic N-site session on the ``synthetic-<n>`` backbone."""
     return build_session(
         load_backbone(f"synthetic-{n_sites}"),
         UniformCapacityModel(streams_per_site=streams_per_site),
         RngStream(seed, label=f"perf/N{n_sites}").spawn("session"),
-        SessionConfig(n_sites=n_sites, displays_per_site=2),
+        SessionConfig(n_sites=n_sites, displays_per_site=2, backend=backend),
     )
 
 
 def _scenario_spec(
-    n_sites: int, seed: int, rebuild_policy: str = "always"
+    n_sites: int,
+    seed: int,
+    rebuild_policy: str = "always",
+    backend: str = "auto",
 ) -> ScenarioSpec:
     """A small churn scenario used purely for round timing."""
     return ScenarioSpec(
@@ -245,10 +266,13 @@ def _scenario_spec(
         displays_per_site=1,
         fov_size=2,
         rebuild_policy=rebuild_policy,
+        backend=backend,
     )
 
 
-def _measure_control_convergence(n_sites: int, seed: int) -> Timing:
+def _measure_control_convergence(
+    n_sites: int, seed: int, backend: str = "auto"
+) -> Timing:
     """Simulated convergence latency of the timing scenario, async control.
 
     Unlike every other series this is *simulated* milliseconds (the
@@ -259,7 +283,7 @@ def _measure_control_convergence(n_sites: int, seed: int) -> Timing:
     from repro.scenarios.runtime import ScenarioRuntime
 
     spec = replace(
-        _scenario_spec(n_sites, seed),
+        _scenario_spec(n_sites, seed, backend=backend),
         async_control=True,
         control_delay_ms=CONTROL_DELAY_MS,
         debounce_ms=DEBOUNCE_MS,
@@ -276,7 +300,7 @@ def _measure_control_convergence(n_sites: int, seed: int) -> Timing:
 
 
 def _time_scenario_rounds(
-    n_sites: int, seed: int, rebuild_policy: str
+    n_sites: int, seed: int, rebuild_policy: str, backend: str = "auto"
 ) -> Timing:
     """Mean control-round latency of the timing scenario at one policy.
 
@@ -287,7 +311,7 @@ def _time_scenario_rounds(
     """
     from repro.scenarios.runtime import ScenarioRuntime
 
-    spec = _scenario_spec(n_sites, seed, rebuild_policy)
+    spec = _scenario_spec(n_sites, seed, rebuild_policy, backend=backend)
     runtime = ScenarioRuntime(spec, audit=False)
     with Stopwatch() as stopwatch:
         report = runtime.run()
@@ -311,11 +335,20 @@ def run_perf_case(
     mean_subscribers: float = DEFAULT_MEAN_SUBSCRIBERS,
     with_event_plane: bool = True,
     with_scenario: bool = True,
+    backend: str = "auto",
 ) -> PerfCase:
-    """Time build + dissemination (+ one scenario round) at one size."""
+    """Time build + dissemination (+ one scenario round) at one size.
+
+    Sizes past :data:`EVENT_PLANE_MAX_SITES` /
+    :data:`SCENARIO_MAX_SITES` silently skip the event-plane and
+    scenario series respectively — at those scales a single skipped
+    series would otherwise dominate the whole sweep's wall clock.
+    """
     if n_sites < 2:
         raise ConfigurationError(f"n_sites must be >= 2, got {n_sites}")
-    session = _sweep_session(n_sites, seed, streams_per_site)
+    with_event_plane = with_event_plane and n_sites <= EVENT_PLANE_MAX_SITES
+    with_scenario = with_scenario and n_sites <= SCENARIO_MAX_SITES
+    session = _sweep_session(n_sites, seed, streams_per_site, backend)
     rng = RngStream(seed, label=f"perf/N{n_sites}")
     workload = CoverageWorkloadModel(
         mean_subscribers=mean_subscribers, guarantee_coverage=False
@@ -361,11 +394,15 @@ def run_perf_case(
     scenario_incremental_timing: Timing | None = None
     convergence_timing: Timing | None = None
     if with_scenario:
-        scenario_timing = _time_scenario_rounds(n_sites, seed, "always")
-        scenario_incremental_timing = _time_scenario_rounds(
-            n_sites, seed, "incremental"
+        scenario_timing = _time_scenario_rounds(
+            n_sites, seed, "always", backend=backend
         )
-        convergence_timing = _measure_control_convergence(n_sites, seed)
+        scenario_incremental_timing = _time_scenario_rounds(
+            n_sites, seed, "incremental", backend=backend
+        )
+        convergence_timing = _measure_control_convergence(
+            n_sites, seed, backend=backend
+        )
 
     return PerfCase(
         n_sites=n_sites,
@@ -391,6 +428,7 @@ def run_perf_sweep(
     label: str = "PR2",
     with_event_plane: bool = True,
     with_scenario: bool = True,
+    backend: str = "auto",
 ) -> PerfReport:
     """Run the full sweep; see the module docstring for what is timed."""
     report = PerfReport(
@@ -405,6 +443,7 @@ def run_perf_sweep(
             "mean_subscribers": DEFAULT_MEAN_SUBSCRIBERS,
             "latency_bound_ms": DEFAULT_LATENCY_BOUND_MS,
             "backbone": "synthetic-<n>",
+            "backend": backend,
         },
     )
     for n_sites in sizes:
@@ -417,6 +456,7 @@ def run_perf_sweep(
                 algorithm=algorithm,
                 with_event_plane=with_event_plane,
                 with_scenario=with_scenario,
+                backend=backend,
             )
         )
     return report

@@ -263,6 +263,7 @@ class ScenarioRuntime:
                 problem_assembly=spec.problem_assembly,
                 control_delay_ms=spec.control_delay_ms,
                 debounce_ms=spec.debounce_ms,
+                backend=spec.backend,
             ),
         )
 

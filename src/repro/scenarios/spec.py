@@ -118,6 +118,10 @@ class ScenarioSpec:
     capacity_base / capacity_jitter / streams_per_site:
         Overrides of the uniform capacity model — the capacity-starvation
         scenario shrinks these far below the paper's defaults.
+    backend:
+        Array backend for the run's sessions and problems: ``python``,
+        ``numpy`` or ``auto`` (numpy when importable).  Both backends are
+        pinned bit-identical, so this is a performance knob only.
     """
 
     name: str
@@ -140,6 +144,7 @@ class ScenarioSpec:
     async_control: bool = False
     control_delay_ms: float = 0.0
     debounce_ms: float = 0.0
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
@@ -155,6 +160,11 @@ class ScenarioSpec:
             )
         check_rebuild_policy(self.rebuild_policy)
         check_assembly_policy(self.problem_assembly)
+        # Local import: repro.core.backend sits under the core package,
+        # whose __init__ indirectly imports session/scenario modules.
+        from repro.core.backend import check_backend_name
+
+        check_backend_name(self.backend)
         if self.nodes not in ("uniform", "heterogeneous"):
             raise ConfigurationError(
                 f"nodes must be 'uniform' or 'heterogeneous', got {self.nodes!r}"

@@ -48,8 +48,15 @@ class SessionConfig:
     #: Default debounce window the membership service coalesces dirty
     #: control state over before building a round.
     debounce_ms: float = 0.0
+    #: Array backend for the session's dense structures ("auto" |
+    #: "python" | "numpy"); see :mod:`repro.core.backend`.  "auto"
+    #: consults ``TELE3D_BACKEND`` and falls back to numpy-if-importable.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        # Local import: repro.core.problem imports this module.
+        from repro.core.backend import check_backend_name
+
         if self.n_sites < 1:
             raise SessionError(f"n_sites must be >= 1, got {self.n_sites}")
         if self.displays_per_site < 1:
@@ -58,6 +65,7 @@ class SessionConfig:
             )
         check_rebuild_policy(self.rebuild_policy)
         check_assembly_policy(self.problem_assembly)
+        check_backend_name(self.backend)
         if self.control_delay_ms < 0:
             raise SessionError(
                 f"control_delay_ms must be >= 0, got {self.control_delay_ms}"
@@ -97,9 +105,15 @@ class TISession:
     #: resolves its own ``None`` knobs against these.
     control_delay_ms: float = 0.0
     debounce_ms: float = 0.0
+    #: Array backend for the dense structures derived from this session.
+    backend: str = "auto"
     _cost_matrix: dict[int, dict[int, float]] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        # Local import: repro.core.problem imports this module.
+        from repro.core.backend import resolve_backend
+
+        self._array_backend = resolve_backend(self.backend)
         check_rebuild_policy(self.rebuild_policy)
         check_assembly_policy(self.problem_assembly)
         if self.control_delay_ms < 0 or self.debounce_ms < 0:
@@ -117,19 +131,18 @@ class TISession:
             if site.pop_id in seen_pops:
                 raise SessionError(f"two sites share PoP {site.pop_id!r}")
             seen_pops.add(site.pop_id)
-        # ``_dense_costs`` is the bulk-access surface for consumers that
-        # want contiguous rows (see :meth:`dense_cost_matrix`); the dict
-        # field stays authoritative for ``cost_ms``/``cost_matrix``.
+        # ``_dense_costs`` is the authoritative latency store; the dict
+        # field is kept only when a caller injected one (legacy path) and
+        # is otherwise derived on demand — materializing the O(N²) dict
+        # up front dominated assembly time and memory at N >= 1024.
         if not self._cost_matrix:
             pop_matrix = self.topology.dense_cost_matrix(
                 [s.pop_id for s in self.sites]
             )
             rows = [list(pop_matrix.row(i)) for i in range(len(self.sites))]
-            self._dense_costs = DenseCostMatrix(rows)
-            self._cost_matrix = {
-                a.index: {b.index: rows[a.index][b.index] for b in self.sites}
-                for a in self.sites
-            }
+            self._dense_costs = DenseCostMatrix(
+                rows, backend=self._array_backend
+            )
         else:
             self._dense_costs = DenseCostMatrix.from_nested(
                 self._cost_matrix, nodes=range(len(self.sites))
@@ -149,16 +162,29 @@ class TISession:
         except IndexError:
             raise SessionError(f"no site with index {index}") from None
 
+    @property
+    def array_backend(self):
+        """The resolved array backend for this session's dense structures."""
+        return self._array_backend
+
     def cost_ms(self, a: int, b: int) -> float:
         """One-way RP-to-RP latency between sites ``a`` and ``b``."""
-        try:
-            return self._cost_matrix[a][b]
-        except KeyError:
-            raise SessionError(f"no cost entry for sites {a}->{b}") from None
+        n = len(self.sites)
+        if (
+            not isinstance(a, int)
+            or not isinstance(b, int)
+            or not (0 <= a < n and 0 <= b < n)
+        ):
+            raise SessionError(f"no cost entry for sites {a}->{b}")
+        return self._dense_costs.edge_cost(a, b)
 
     def cost_matrix(self) -> dict[int, dict[int, float]]:
-        """A copy of the site-indexed latency matrix."""
-        return {a: dict(row) for a, row in self._cost_matrix.items()}
+        """A copy of the site-indexed latency matrix (built on demand)."""
+        if self._cost_matrix:
+            return {a: dict(row) for a, row in self._cost_matrix.items()}
+        rows = self._dense_costs.rows()
+        n = len(self.sites)
+        return {a: {b: rows[a][b] for b in range(n)} for a in range(n)}
 
     def dense_cost_matrix(self) -> DenseCostMatrix:
         """The shared site-indexed dense latency matrix (read-only)."""
@@ -215,6 +241,7 @@ def build_session(
         problem_assembly=config.problem_assembly,
         control_delay_ms=config.control_delay_ms,
         debounce_ms=config.debounce_ms,
+        backend=config.backend,
     )
 
 

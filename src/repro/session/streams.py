@@ -35,6 +35,12 @@ class StreamId:
             raise SubscriptionError(f"negative site index: {self.site}")
         if self.index < 0:
             raise SubscriptionError(f"negative stream index: {self.index}")
+        # Stream ids key every per-tree dict on the build hot path;
+        # precomputing the (immutable) hash saves a tuple build per probe.
+        object.__setattr__(self, "_hash", hash((self.site, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"s{self.site}^{self.index}"

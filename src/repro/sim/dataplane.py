@@ -217,6 +217,15 @@ class FastDataPlane:
     event-driven :class:`DataPlaneReport` bit for bit, with no heap,
     no callbacks, and no per-frame object construction.
 
+    The per-tree arithmetic runs on the session's array backend: plain
+    list comprehensions on the python backend, elementwise ndarray
+    kernels on numpy.  Both are pinned to the same float results — the
+    numpy path uses only elementwise float64 ops plus a ``cumsum``-based
+    left-to-right sum, never ``np.sum``'s pairwise reduction.  Short
+    frame vectors stay on the list kernels even under numpy
+    (``ArrayBackend.plane_kernels``): per-op ndarray dispatch overhead
+    loses below ~64 frames, and the results are identical either way.
+
     Raises :class:`~repro.errors.SimulationError` when constructed with
     jitter or loss — those runs need the event-driven plane (use
     :func:`make_dataplane` to dispatch automatically).
@@ -256,6 +265,7 @@ class FastDataPlane:
         captured = 0
         delivered = 0
         cost_ms = self.session.cost_ms
+        backend = self.session.array_backend
         for stream_id, tree in self.forest.trees.items():
             if not tree.receivers():
                 continue  # nobody subscribed; camera stays local
@@ -275,26 +285,28 @@ class FastDataPlane:
                 times.append(t)
                 t += interval
             n_frames = len(times)
+            kern = backend.plane_kernels(n_frames)
             stream_bytes = int(sum(clock.sample_sizes(camera_rng, n_frames)))
             captured += n_frames
             source = tree.source
-            # Per-member arrival-time arrays, parents before children
+            # Per-member arrival-time vectors, parents before children
             # (path_costs iterates in attach order).
-            arrivals: dict[int, list[float]] = {source: times}
+            times_v = kern.as_vector(times)
+            arrivals: dict[int, object] = {source: times_v}
             parent_of = tree.parent
             for node in tree.path_costs():
                 if node == source:
                     continue
                 parent = parent_of(node)
                 hop = cost_ms(parent, node)
-                node_arrivals = [a + hop for a in arrivals[parent]]
+                node_arrivals = kern.shift(arrivals[parent], hop)
                 arrivals[node] = node_arrivals
                 bytes_sent[parent] += stream_bytes
-                latencies = [a - t0 for a, t0 in zip(node_arrivals, times)]
+                latencies = kern.deltas(node_arrivals, times_v)
                 stats = DeliveryStats()
                 stats.frames = n_frames
-                stats.total_latency_ms = sum(latencies)
-                stats.max_latency_ms = max(0.0, max(latencies))
+                stats.total_latency_ms = kern.seq_sum(latencies)
+                stats.max_latency_ms = max(0.0, kern.vec_max(latencies))
                 deliveries[(stream_id, node)] = stats
                 delivered += n_frames
         return DataPlaneReport(

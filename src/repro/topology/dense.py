@@ -5,16 +5,24 @@ times per sweep (every parent search scans every tree member).  A
 dict-of-dict matrix pays two hash lookups per probe; the
 :class:`DenseCostMatrix` here stores the same data as an index-mapped
 list of row lists, so a probe is two list indexings and a whole row can
-be handed to a scan loop at once.  It is dependency-free on purpose —
-the repo bans third-party numeric packages — but the layout is exactly
-what a numpy array would hold, so a future backend swap is mechanical.
+be handed to a scan loop at once.
+
+The row/column lists stay the authoritative storage on every array
+backend (scalar probes are faster on lists); when the numpy backend is
+active, :meth:`row_array`/:meth:`column_array` expose lazily-built
+ndarray mirrors for the vectorized bulk kernels.  ``set_cost`` patches
+rows, the lazy transpose and any mirrors in place, so a diffed round's
+single-entry cost tweaks no longer re-pay the O(N²) transpose rebuild.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
 from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backend import ArrayBackend
 
 
 class DenseCostMatrix:
@@ -26,12 +34,22 @@ class DenseCostMatrix:
     (e.g. PoP names) to indices for graph-level consumers.
     """
 
-    __slots__ = ("n", "_rows", "_cols", "_labels", "_index")
+    __slots__ = (
+        "n",
+        "_rows",
+        "_cols",
+        "_labels",
+        "_index",
+        "_backend",
+        "_rows_arr",
+        "_cols_arr",
+    )
 
     def __init__(
         self,
         rows: list[list[float]],
         labels: Sequence[Hashable] | None = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         self.n = len(rows)
         for i, row in enumerate(rows):
@@ -41,6 +59,9 @@ class DenseCostMatrix:
                 )
         self._rows = rows
         self._cols: list[list[float]] | None = None
+        self._backend = backend
+        self._rows_arr = None
+        self._cols_arr = None
         if labels is not None and len(labels) != self.n:
             raise TopologyError(
                 f"{len(labels)} labels for {self.n} rows"
@@ -90,6 +111,10 @@ class DenseCostMatrix:
         """Costs *from* node ``a`` to every node (shared list, read-only)."""
         return self._rows[a]
 
+    def rows(self) -> list[list[float]]:
+        """All rows in index order (the shared lists, read-only)."""
+        return self._rows
+
     def column(self, b: int) -> list[float]:
         """Costs *to* node ``b`` from every node (shared list, read-only).
 
@@ -102,9 +127,52 @@ class DenseCostMatrix:
         return self._cols[b]
 
     def set_cost(self, a: int, b: int, value: float) -> None:
-        """Update one entry (and drop the lazy transpose)."""
+        """Update one entry, patching the transpose and mirrors in place.
+
+        Dropping the lazy transpose here would force a diffed round's
+        next ``column`` call to re-pay the O(N²) rebuild for a single
+        changed entry; instead every materialized view is kept in sync.
+        """
         self._rows[a][b] = value
-        self._cols = None
+        if self._cols is not None:
+            self._cols[b][a] = value
+        if self._rows_arr is not None:
+            self._rows_arr[a, b] = value
+        if self._cols_arr is not None:
+            self._cols_arr[b, a] = value
+
+    # -- array mirrors -----------------------------------------------------------
+
+    @property
+    def array_backend(self) -> "ArrayBackend":
+        """The resolved array backend for this matrix (lazily bound)."""
+        from repro.core.backend import ArrayBackend, resolve_backend
+
+        if not isinstance(self._backend, ArrayBackend):
+            self._backend = resolve_backend(self._backend)
+        return self._backend
+
+    def row_array(self, a: int):
+        """Row ``a`` as this backend's vector type (ndarray on numpy)."""
+        backend = self.array_backend
+        if backend.name != "numpy":
+            return self._rows[a]
+        if self._rows_arr is None:
+            self._rows_arr = backend.as_vector(self._rows)
+        return self._rows_arr[a]
+
+    def column_array(self, b: int):
+        """Column ``b`` as this backend's vector type (ndarray on numpy)."""
+        backend = self.array_backend
+        if backend.name != "numpy":
+            return self.column(b)
+        if self._cols_arr is None:
+            if self._rows_arr is None:
+                self._rows_arr = backend.as_vector(self._rows)
+            # Materialized (C-contiguous) so fancy-indexed gathers in the
+            # parent scan do not stride across the transpose view.
+            self._cols_arr = self._rows_arr.T.copy()
+        return self._cols_arr[b]
 
     def index_of(self, label: Hashable) -> int:
         """Index of an external node id (requires labels)."""

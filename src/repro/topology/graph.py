@@ -148,6 +148,55 @@ class Topology:
 
     # -- shortest paths ----------------------------------------------------------
 
+    #: Below this many PoPs the pure-Python Dijkstra wins (and every
+    #: tier-1 topology stays on the reference path); above it, a single
+    #: scipy sparse-graph solve replaces per-source heap runs when scipy
+    #: is importable.
+    _BULK_SSSP_MIN_POPS = 128
+
+    def _bulk_shortest_costs(self, sources: Iterable[str]) -> None:
+        """Pre-fill the APSP cache for ``sources`` in one sparse solve.
+
+        Purely an accelerator: scipy's Dijkstra performs the identical
+        ``dist[u] + w`` float relaxation, and with non-negative weights
+        the per-node distances are the unique fixpoint of that
+        recurrence — bit-for-bit equal to :meth:`shortest_costs_from`
+        (pinned by the equivalence test).  No-ops (leaving the reference
+        path in charge) on small graphs or when scipy is missing.
+        """
+        missing = [s for s in sources if s not in self._apsp_cache]
+        if not missing or len(self._coords) < self._BULK_SSSP_MIN_POPS:
+            return
+        try:
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import dijkstra
+        except ImportError:  # pragma: no cover - depends on environment
+            return
+        pops = list(self._coords)
+        index = {pop: i for i, pop in enumerate(pops)}
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for a, nbrs in self._adj.items():
+            ia = index[a]
+            for b, cost in nbrs.items():
+                rows.append(ia)
+                cols.append(index[b])
+                data.append(cost)
+        graph = csr_matrix(
+            (data, (rows, cols)), shape=(len(pops), len(pops))
+        )
+        dist = dijkstra(
+            graph, directed=True, indices=[index[s] for s in missing]
+        )
+        unreachable = float("inf")
+        for source, row in zip(missing, dist):
+            self._apsp_cache[source] = {
+                pops[j]: float(row[j])
+                for j in range(len(pops))
+                if row[j] != unreachable
+            }
+
     def shortest_costs_from(self, source: str) -> Mapping[str, float]:
         """Dijkstra single-source latency costs (cached).
 
@@ -197,6 +246,7 @@ class Topology:
         for node in selected:
             if node not in self._coords:
                 raise TopologyError(f"unknown PoP {node!r}")
+        self._bulk_shortest_costs(selected)
         matrix: dict[str, dict[str, float]] = {}
         for a in selected:
             costs = self.shortest_costs_from(a)
@@ -221,10 +271,12 @@ class Topology:
         PoP id in the order of ``pops``.
         """
         selected = list(pops) if pops is not None else self.pop_ids
-        rows: list[list[float]] = []
         for a in selected:
             if a not in self._coords:
                 raise TopologyError(f"unknown PoP {a!r}")
+        self._bulk_shortest_costs(selected)
+        rows: list[list[float]] = []
+        for a in selected:
             costs = self.shortest_costs_from(a)
             row: list[float] = []
             for b in selected:

@@ -1,0 +1,280 @@
+"""The array-backend contract: resolution rules and bit-exact kernels.
+
+The numpy backend is an accelerator, never a semantics change: every
+kernel must reproduce the pure-python reference bit for bit.  These
+tests pin the resolution precedence (argument > env var > auto) and the
+kernel-level equivalences; the scenario digest matrix in
+``tests/scenarios/test_backend_digests.py`` pins the end-to-end builds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.backend as backend_mod
+from repro.core.backend import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    NumpyBackend,
+    check_backend_name,
+    numpy_available,
+    resolve_backend,
+)
+from repro.core.forest import OverlayForest
+from repro.core.node_join import ParentPolicy, scan_parent_scalar
+from repro.core.problem import ForestProblem
+from repro.core.registry import make_builder
+from repro.core.state import BuilderState
+from repro.errors import ConfigurationError
+from repro.session.capacity import UniformCapacityModel
+from repro.session.session import SessionConfig, build_session
+from repro.sim.dataplane import FastDataPlane
+from repro.topology.backbone import load_backbone
+from repro.util.rng import RngStream
+from repro.workload.coverage import CoverageWorkloadModel
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not importable"
+)
+
+
+def _problem(backend: str, n_sites: int = 32, seed: int = 42):
+    """A deterministic problem on the requested backend."""
+    session = build_session(
+        load_backbone(f"synthetic-{n_sites}"),
+        UniformCapacityModel(streams_per_site=4),
+        RngStream(seed, label=f"bk/N{n_sites}").spawn("session"),
+        SessionConfig(n_sites=n_sites, displays_per_site=2, backend=backend),
+    )
+    workload = CoverageWorkloadModel(
+        mean_subscribers=6.0, guarantee_coverage=False
+    ).generate(session, RngStream(seed, label=f"bk/N{n_sites}").spawn("workload"))
+    return session, ForestProblem.from_workload(session, workload, 120.0)
+
+
+def _forest_shape(result) -> dict:
+    """Parent map + outcome lists, for exact cross-backend comparison."""
+    return {
+        "trees": {
+            str(stream): {
+                node: tree.parent(node) for node in tree.path_costs()
+            }
+            for stream, tree in result.forest.trees.items()
+        },
+        "satisfied": [str(r) for r in result.satisfied],
+        "rejected": [
+            (str(r), reason.value) for r, reason in result.forest.rejected
+        ],
+    }
+
+
+class TestResolution:
+    def test_python_is_singleton(self):
+        assert resolve_backend("python") is resolve_backend("python")
+        assert resolve_backend("python").name == "python"
+
+    def test_instance_passes_through(self):
+        instance = resolve_backend("python")
+        assert resolve_backend(instance) is instance
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("fortran")
+        with pytest.raises(ConfigurationError):
+            check_backend_name("fortran")
+
+    def test_auto_without_env(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        resolved = resolve_backend(None)
+        expected = "numpy" if numpy_available() else "python"
+        assert resolved.name == expected
+        assert resolve_backend("auto").name == expected
+
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend(None).name == "python"
+        assert resolve_backend("auto").name == "python"
+
+    @needs_numpy
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(ConfigurationError):
+            resolve_backend(None)
+
+    def test_numpy_requested_but_missing(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_np", None)
+        monkeypatch.setattr(backend_mod, "_np_checked", True)
+        with pytest.raises(ConfigurationError):
+            resolve_backend("numpy")
+
+    def test_config_knobs_validate(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig(n_sites=4, backend="fortran")
+
+
+@needs_numpy
+class TestKernelEquivalence:
+    """Each numpy kernel against the pure-python reference, bit for bit."""
+
+    def setup_method(self):
+        self.py = ArrayBackend()
+        self.np_b = resolve_backend("numpy")
+        assert isinstance(self.np_b, NumpyBackend)
+
+    def test_rfc_bulk(self):
+        rng = RngStream(3, label="rfc")
+        limits = [rng.randint(0, 30) for _ in range(200)]
+        dout = [rng.randint(0, 10) for _ in range(200)]
+        m_hat = [rng.randint(0, 5) for _ in range(200)]
+        assert list(self.np_b.rfc_bulk(limits, dout, m_hat)) == self.py.rfc_bulk(
+            limits, dout, m_hat
+        )
+
+    def test_dataplane_kernels(self):
+        rng = RngStream(5, label="plane")
+        values = [rng.random() * 100.0 for _ in range(1000)]
+        other = [rng.random() * 100.0 for _ in range(1000)]
+        delta = 17.3
+        py_shift = self.py.shift(values, delta)
+        np_shift = self.np_b.shift(self.np_b.as_vector(values), delta)
+        assert list(np_shift) == py_shift
+        py_deltas = self.py.deltas(values, other)
+        np_deltas = self.np_b.deltas(
+            self.np_b.as_vector(values), self.np_b.as_vector(other)
+        )
+        assert list(np_deltas) == py_deltas
+        # The sums must match the *sequential* left-to-right order, not
+        # just be numerically close.
+        assert self.np_b.seq_sum(self.np_b.as_vector(py_deltas)) == (
+            self.py.seq_sum(py_deltas)
+        )
+        assert self.np_b.vec_max(self.np_b.as_vector(values)) == (
+            self.py.vec_max(values)
+        )
+
+    @pytest.mark.parametrize("pairs", [7, 2048])
+    def test_apply_count_deltas(self, pairs):
+        # 7 stays on the scalar loop, 2048 crosses _count_patch_min.
+        rng = RngStream(pairs, label="patch")
+        a = [rng.randint(0, 9) for _ in range(300)]
+        b = list(a)
+        deltas = [
+            (rng.randint(0, 299), rng.randint(-3, 3)) for _ in range(pairs)
+        ]
+        self.py.apply_count_deltas(a, deltas)
+        self.np_b.apply_count_deltas(b, deltas)
+        assert a == b
+
+
+@needs_numpy
+class TestParentScanEquivalence:
+    """The vectorized parent scan against the scalar reference loop."""
+
+    def test_all_policies_on_built_forest(self):
+        _, problem = _problem("numpy")
+        result = make_builder("rj").build(
+            problem, RngStream(42, label="bk/N32").spawn("build")
+        )
+        backend = problem.array_backend
+        compared = 0
+        for tree in result.forest.trees.values():
+            if len(tree) < 2:
+                continue
+            for subscriber in range(problem.n_nodes):
+                if subscriber in tree:
+                    continue
+                for policy in ParentPolicy:
+                    assert backend.parent_scan(
+                        problem, result.state, tree, subscriber, policy
+                    ) == scan_parent_scalar(
+                        problem, result.state, tree, subscriber, policy
+                    )
+                    compared += 1
+        assert compared > 100  # the sweep actually exercised the kernel
+
+    def test_undisseminated_source_edge(self):
+        _, problem = _problem("numpy")
+        backend = problem.array_backend
+        state = BuilderState(problem)
+        stream = problem.groups[0].stream
+        tree = OverlayForest().tree(stream)
+        assert not tree.disseminated
+        subscriber = next(
+            i for i in range(problem.n_nodes) if i != stream.site
+        )
+        for policy in ParentPolicy:
+            assert backend.parent_scan(
+                problem, state, tree, subscriber, policy
+            ) == scan_parent_scalar(problem, state, tree, subscriber, policy)
+        # Saturate the source: both scans must now reject the join.
+        state.dout[stream.site] = problem.outbound_limit(stream.site)
+        for policy in ParentPolicy:
+            assert (
+                backend.parent_scan(problem, state, tree, subscriber, policy)
+                is None
+            )
+            assert (
+                scan_parent_scalar(problem, state, tree, subscriber, policy)
+                is None
+            )
+
+    @pytest.mark.parametrize("algorithm", ["rj", "co-rj"])
+    def test_forced_vector_build_identical(self, monkeypatch, algorithm):
+        """Every join through the numpy kernel == the scalar build."""
+        monkeypatch.setattr(NumpyBackend, "vector_scan_min", 1)
+        shapes = []
+        for backend in ("python", "numpy"):
+            _, problem = _problem(backend)
+            result = make_builder(algorithm).build(
+                problem, RngStream(42, label="bk/N32").spawn("build")
+            )
+            shapes.append(_forest_shape(result))
+        assert shapes[0] == shapes[1]
+
+
+@needs_numpy
+class TestDataPlaneEquivalence:
+    # 8 s at 15 fps = 121 frames, past plane_vector_min=64 — the numpy
+    # run below really exercises the ndarray kernels, not the list
+    # fallback both backends share for short frame vectors.
+    @pytest.mark.parametrize("duration_ms", [1000.0, 8000.0])
+    def test_fast_plane_reports_identical(self, duration_ms):
+        from repro.perf.sweep import reports_equal
+
+        reports = []
+        for backend in ("python", "numpy"):
+            session, problem = _problem(backend, n_sites=16)
+            result = make_builder("rj").build(
+                problem, RngStream(42, label="bk/N16").spawn("build")
+            )
+            plane = FastDataPlane(
+                session, result.forest, RngStream(42).spawn("dataplane")
+            )
+            reports.append(plane.run(duration_ms=duration_ms))
+        assert reports_equal(reports[0], reports[1])
+
+    def test_plane_kernel_gate(self):
+        from repro.core.backend import resolve_backend
+
+        np_backend = resolve_backend("numpy")
+        assert np_backend.plane_kernels(16).name == "python"
+        assert np_backend.plane_kernels(64).name == "numpy"
+        py_backend = resolve_backend("python")
+        assert py_backend.plane_kernels(10**6).name == "python"
+
+
+class TestBulkDijkstraEquivalence:
+    def test_scipy_rows_match_heapq_rows(self):
+        pytest.importorskip("scipy")
+        bulk = load_backbone("synthetic-128")
+        reference = load_backbone("synthetic-128")
+        # Instance attribute shadows the class gate: this copy can never
+        # take the scipy path and stays on the pure-python Dijkstra.
+        reference._BULK_SSSP_MIN_POPS = 10**9
+        fast = bulk.dense_cost_matrix()
+        slow = reference.dense_cost_matrix()
+        assert fast.rows() == slow.rows()

@@ -1,0 +1,214 @@
+"""Write-through table views: strict keys, COW evolution, snapshots.
+
+The dict surfaces (``problem.cost``, ``problem.inbound``/``outbound``)
+exist for tests and exploratory code; the hot paths read the dense
+matrix and flat lists behind them.  These tests pin the contract that
+keeps the two in sync: writes through any dict entry point propagate,
+unknown keys are refused loudly (a silent dict-only write would diverge
+the surfaces), and evolved problems fork their limit tables on first
+write instead of corrupting the previous round's.  Everything runs on
+both array backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backend import numpy_available, resolve_backend
+from repro.core.problem import ForestProblem
+from repro.core.registry import make_builder
+from repro.errors import ConfigurationError
+from repro.session.capacity import UniformCapacityModel
+from repro.session.session import SessionConfig, build_session
+from repro.util.rng import RngStream
+from repro.workload.coverage import CoverageWorkloadModel
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not importable"
+)
+
+BACKENDS = ["python", pytest.param("numpy", marks=needs_numpy)]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def session(tier1_topology, backend):
+    return build_session(
+        tier1_topology,
+        UniformCapacityModel(streams_per_site=6),
+        RngStream(7, label="session"),
+        SessionConfig(n_sites=5, displays_per_site=2, backend=backend),
+    )
+
+
+@pytest.fixture
+def workload(session):
+    return CoverageWorkloadModel(interest=0.3).generate(
+        session, RngStream(11, label="workload")
+    )
+
+
+@pytest.fixture
+def problem(session, workload):
+    return ForestProblem.from_workload(session, workload, 200.0)
+
+
+class TestCostRowStrictKeys:
+    def test_unknown_key_rejected(self, problem):
+        with pytest.raises(ConfigurationError):
+            problem.cost[0]["bogus"] = 1.0
+        with pytest.raises(ConfigurationError):
+            problem.cost[0][999] = 1.0
+        assert "bogus" not in problem.cost[0]
+        assert 999 not in problem.cost[0]
+
+    def test_update_writes_through(self, problem):
+        problem.cost[0].update({1: 55.5})
+        assert problem.edge_cost(0, 1) == 55.5
+        assert problem.costs_to(1)[0] == 55.5
+        with pytest.raises(ConfigurationError):
+            problem.cost[0].update({999: 1.0})
+
+    def test_setdefault_existing_key_is_a_no_op(self, problem):
+        before = problem.edge_cost(0, 1)
+        assert problem.cost[0].setdefault(1, 77.0) == before
+        assert problem.edge_cost(0, 1) == before
+
+    def test_ior_writes_through(self, problem):
+        row = problem.cost[2]
+        row |= {3: 41.25}
+        assert problem.edge_cost(2, 3) == 41.25
+        assert problem.costs_row(2)[3] == 41.25
+
+
+class TestLimitTableStrictKeys:
+    def test_unknown_key_rejected(self, problem):
+        for table in (problem.inbound, problem.outbound):
+            with pytest.raises(ConfigurationError):
+                table["bogus"] = 3
+            with pytest.raises(ConfigurationError):
+                table[999] = 3
+            assert 999 not in table
+
+    def test_update_and_ior_write_through(self, problem):
+        problem.inbound.update({1: 9})
+        assert problem.inbound_limit(1) == 9
+        assert problem.inbound_limits()[1] == 9
+        problem.outbound |= {2: 4}
+        assert problem.outbound_limit(2) == 4
+        assert problem.outbound_limits()[2] == 4
+
+    def test_setdefault_existing_key_is_a_no_op(self, problem):
+        before = problem.inbound_limit(0)
+        assert problem.inbound.setdefault(0, before + 5) == before
+        assert problem.inbound_limit(0) == before
+
+    def test_entry_removal_refused(self, problem):
+        with pytest.raises(ConfigurationError):
+            del problem.inbound[0]
+        with pytest.raises(ConfigurationError):
+            problem.outbound.pop(0)
+
+
+class TestEvolvedLimitTablesCopyOnWrite:
+    def test_shared_until_first_write(self, problem, workload):
+        evolved = ForestProblem.evolve(problem, workload)
+        assert evolved.inbound_limits() is problem.inbound_limits()
+        assert evolved.outbound_limits() is problem.outbound_limits()
+
+    def test_setitem_forks_instead_of_leaking(self, problem, workload):
+        evolved = ForestProblem.evolve(problem, workload)
+        before = problem.inbound_limit(1)
+        evolved.inbound[1] = 0
+        assert evolved.inbound_limit(1) == 0
+        assert problem.inbound_limit(1) == before
+        assert evolved.inbound_limits() is not problem.inbound_limits()
+        # Already forked: the next write stays on the private list.
+        forked = evolved.inbound_limits()
+        before2 = problem.inbound_limit(2)
+        evolved.inbound[2] = 0
+        assert evolved.inbound_limits() is forked
+        assert problem.inbound_limit(2) == before2
+
+    def test_update_forks_too(self, problem, workload):
+        evolved = ForestProblem.evolve(problem, workload)
+        before = problem.outbound_limit(3)
+        evolved.outbound.update({3: 0})
+        assert evolved.outbound_limit(3) == 0
+        assert problem.outbound_limit(3) == before
+
+    def test_ancestor_write_after_fork_stays_private(self, problem, workload):
+        evolved = ForestProblem.evolve(problem, workload)
+        evolved.inbound[0] = 0  # fork
+        problem.inbound[0] = 7
+        assert evolved.inbound_limit(0) == 0
+        assert problem.inbound_limit(0) == 7
+
+    def test_chained_evolution_forks_each_round(self, problem, workload):
+        round1 = ForestProblem.evolve(problem, workload)
+        round2 = ForestProblem.evolve(round1, workload)
+        round2.inbound[1] = 0
+        assert round1.inbound_limit(1) == problem.inbound_limit(1)
+        assert round1.inbound_limits() is problem.inbound_limits()
+
+
+@needs_numpy
+class TestLimitsArrayMirror:
+    """The ndarray mirror the vectorized parent scan reads must track
+    every write path of the limit tables, including copy-on-write
+    aliasing across evolved rounds."""
+
+    def test_write_drops_cached_mirror(self, problem):
+        np_backend = resolve_backend("numpy")
+        arr = np_backend.limits_array(problem.outbound)
+        assert list(arr) == problem.outbound_limits()
+        assert np_backend.limits_array(problem.outbound) is arr
+        problem.outbound[2] = 1
+        fresh = np_backend.limits_array(problem.outbound)
+        assert fresh is not arr
+        assert int(fresh[2]) == 1
+
+    def test_ancestor_write_invalidates_view_mirror(self, problem, workload):
+        evolved = ForestProblem.evolve(problem, workload)
+        np_backend = resolve_backend("numpy")
+        np_backend.limits_array(evolved.outbound)
+        # The ancestor owns the shared flat twin and writes it in place;
+        # the evolved view's cached mirror must not keep the old value.
+        problem.outbound[3] = 0
+        assert int(np_backend.limits_array(evolved.outbound)[3]) == 0
+
+    def test_fork_leaves_ancestor_mirror_intact(self, problem, workload):
+        evolved = ForestProblem.evolve(problem, workload)
+        np_backend = resolve_backend("numpy")
+        ancestor = np_backend.limits_array(problem.outbound)
+        evolved.outbound[1] = 0  # forks the flat twin and the mirror box
+        assert np_backend.limits_array(problem.outbound) is ancestor
+        assert int(np_backend.limits_array(evolved.outbound)[1]) == 0
+
+
+class TestBuilderStateSnapshot:
+    def test_snapshot_round_trips_flat_tables(self, problem):
+        result = make_builder("rj").build(
+            problem, RngStream(3, label="build")
+        )
+        state = result.state
+        snap = state.snapshot()
+        assert snap["din"] == dict(enumerate(state.din))
+        assert snap["dout"] == dict(enumerate(state.dout))
+        assert snap["m"] == dict(enumerate(state.m))
+        assert snap["m_hat"] == dict(enumerate(state.m_hat))
+        # Defensive copy: mutating the snapshot must not touch the state.
+        snap["dout"][0] = 10**6
+        assert state.dout[0] != 10**6
+
+    def test_rfc_bulk_matches_scalar_probes(self, problem):
+        result = make_builder("rj").build(
+            problem, RngStream(3, label="build")
+        )
+        state = result.state
+        bulk = list(state.rfc_bulk())
+        assert bulk == [state.rfc(i) for i in range(problem.n_nodes)]

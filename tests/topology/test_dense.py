@@ -33,6 +33,29 @@ class TestDenseCostMatrix:
         assert matrix.column(0) == [0.0, 9.0]
         assert matrix.edge_cost(1, 0) == 9.0
 
+    def test_set_cost_patches_transpose_in_place(self):
+        # Regression: set_cost used to drop the lazy transpose, so any
+        # caller holding a column view kept reading the stale cost and
+        # the next column() call re-paid the O(N²) rebuild.
+        matrix = DenseCostMatrix([[0.0, 1.0], [3.0, 0.0]])
+        column = matrix.column(0)
+        matrix.set_cost(1, 0, 9.0)
+        assert matrix.column(0) is column  # patched, not rebuilt
+        assert column == [0.0, 9.0]
+
+    def test_set_cost_patches_array_mirrors(self):
+        pytest.importorskip("numpy")
+        matrix = DenseCostMatrix(
+            [[0.0, 1.0], [3.0, 0.0]], backend="numpy"
+        )
+        row = matrix.row_array(1)
+        column = matrix.column_array(0)
+        matrix.set_cost(1, 0, 9.0)
+        # The previously handed-out views see the patch: the mirrors are
+        # updated in place, not discarded.
+        assert float(row[0]) == 9.0
+        assert float(column[1]) == 9.0
+
     def test_symmetry_check(self):
         assert DenseCostMatrix([[0.0, 1.0], [1.0, 0.0]]).is_symmetric()
         assert not DenseCostMatrix([[0.0, 1.0], [2.0, 0.0]]).is_symmetric()
