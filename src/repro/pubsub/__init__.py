@@ -7,6 +7,8 @@ centralized membership server.  The server solves the overlay
 construction problem and dictates to every RP its forwarding table.
 
 * :mod:`repro.pubsub.messages` — the control message vocabulary;
+* :mod:`repro.pubsub.faults` — control-link fault injection (loss,
+  jitter, duplication, timed partitions);
 * :mod:`repro.pubsub.rp` — the per-site RP agent;
 * :mod:`repro.pubsub.membership` — the centralized membership server;
 * :mod:`repro.pubsub.service` — the event-driven membership service
@@ -15,13 +17,17 @@ construction problem and dictates to every RP its forwarding table.
   and the data-plane simulator.
 """
 
+from repro.pubsub.faults import FaultConfig, FaultyLink, PartitionWindow
 from repro.pubsub.messages import (
     Advertise,
     Advertisement,
+    ControlAck,
     ControlEnvelope,
     DirectiveAck,
     DisplaySubscription,
+    Heartbeat,
     OverlayDirective,
+    RejoinRequest,
     SiteSubscription,
     Subscribe,
     Withdraw,
@@ -34,9 +40,15 @@ from repro.pubsub.system import PubSubSystem
 __all__ = [
     "Advertise",
     "Advertisement",
+    "ControlAck",
     "ControlEnvelope",
     "ControlRound",
     "DirectiveAck",
+    "FaultConfig",
+    "FaultyLink",
+    "Heartbeat",
+    "PartitionWindow",
+    "RejoinRequest",
     "DisplaySubscription",
     "OverlayDirective",
     "SiteSubscription",

@@ -161,6 +161,15 @@ class MembershipServer:
         """
         return sorted(set(self._advertised) | set(self._subscriptions))
 
+    def is_registered(self, site: int) -> bool:
+        """True while ``site`` has a live advertisement or subscription.
+
+        The failure detector and the withdraw-dedup path probe this:
+        a withdrawal for an unregistered site is redundant, and a
+        heartbeat from one marks a zombie needing re-admission.
+        """
+        return site in self._advertised or site in self._subscriptions
+
     # -- overlay construction ------------------------------------------------------
 
     def global_workload(self) -> SubscriptionWorkload:

@@ -167,10 +167,20 @@ class ControlEnvelope:
         wire format carries (how stale a view the report was made
         under); on a :class:`DirectiveAck` it names the acknowledged
         epoch and the service validates it against the pending round.
+    seq:
+        Per-site monotonic sequence number, assigned by the sending
+        service.  The receiving side keeps the latest applied ``seq``
+        per (site, message kind) and discards anything at or below it,
+        which makes every report idempotent under the duplication,
+        retransmission and reordering a lossy link produces.  ``0``
+        marks an unsequenced envelope (hand-built test messages, or
+        kinds like heartbeats that never need dedup) — those always
+        apply.
     """
 
     sent_ms: float
     epoch: int
+    seq: int = field(default=0, kw_only=True)
 
 
 @dataclass(frozen=True)
@@ -205,5 +215,49 @@ class Withdraw(ControlEnvelope):
 @dataclass(frozen=True)
 class DirectiveAck(ControlEnvelope):
     """An RP confirms installation of the directive at ``epoch``."""
+
+    site: int
+
+
+@dataclass(frozen=True)
+class ControlAck(ControlEnvelope):
+    """The server acknowledges one sequenced report from ``site``.
+
+    Sent only when the service runs with retransmission enabled
+    (``retransmit_timeout_ms > 0``): receipt stops the site-side
+    retransmit timer for ``acked_seq``.  ``kind`` names the
+    acknowledged report type for observability; matching is by
+    ``(site, acked_seq)`` alone since sequence numbers are per-site
+    monotonic across kinds.
+    """
+
+    site: int
+    acked_seq: int
+    kind: str = ""
+
+
+@dataclass(frozen=True)
+class Heartbeat(ControlEnvelope):
+    """A live site's periodic beat; absence of these *is* the failure signal.
+
+    Heartbeats are fire-and-forget (no seq dedup, no retransmit): the
+    next beat supersedes a lost one, and the server only ever reads the
+    latest arrival time.
+    """
+
+    site: int
+
+
+@dataclass(frozen=True)
+class RejoinRequest(ControlEnvelope):
+    """Server-to-site: "I no longer know you — re-announce if you're alive."
+
+    Sent when a heartbeat arrives from a site the server has already
+    withdrawn (a zombie: it was suspected — e.g. across a partition —
+    but is still alive).  A live site answers with a fresh
+    advertise/subscribe pair, re-admitting it as a clean join; a site
+    that really left simply never beats again and the request stops
+    being provoked.
+    """
 
     site: int

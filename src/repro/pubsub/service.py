@@ -30,13 +30,40 @@ onto the deterministic :class:`~repro.sim.engine.Simulator` as an
   acknowledgment — the paper-level metric an interactive 3DTI session
   actually feels.
 
-With ``control_delay_ms = debounce_ms = 0`` the service degenerates to
-the synchronous model: every event triggers exactly one round at the
-event's own timestamp and directives install instantly, so directives
-are bit-identical to :meth:`PubSubSystem.run_control_round` /
+Every message crosses a :class:`~repro.pubsub.faults.FaultyLink`, which
+is where chaos enters: seeded per-message loss, jitter, duplication and
+timed site<->server partitions.  The protocol survives them with three
+mechanisms, each inert until its knob is turned:
+
+* **Idempotent sequencing** — each site-side report carries a per-site
+  monotonic ``seq``; the server applies latest-wins per (site, kind),
+  discards duplicates without re-dirtying the round machinery, and a
+  withdrawal establishes a *floor* below which late pre-leave reports
+  are dead on arrival (the reorder that would otherwise resurrect a
+  departed site).
+* **Retransmit with capped exponential backoff**
+  (``retransmit_timeout_ms > 0``) — sequenced reports are re-sent until
+  a :class:`~repro.pubsub.messages.ControlAck` lands, directive pushes
+  until their :class:`~repro.pubsub.messages.DirectiveAck` does; both
+  back off exponentially (capped) and give up after
+  ``max_retransmits`` attempts so partitions cannot pin a round open
+  forever.
+* **Heartbeat failure detection** (``heartbeat_ms > 0``) — live sites
+  beat on a recurring timer; the server withdraws any registered site
+  silent for ``miss_threshold`` beat periods, turning ``FAIL`` from a
+  declared event into a *detected* one.  A heartbeat from a site the
+  server no longer knows (a zombie: falsely suspected across a
+  partition) provokes a :class:`~repro.pubsub.messages.RejoinRequest`,
+  and the live site re-admits itself as a fresh join.
+
+With all knobs at zero the service degenerates to the synchronous
+model: every event triggers exactly one round at the event's own
+timestamp and directives install instantly, so directives are
+bit-identical to :meth:`PubSubSystem.run_control_round` /
 :class:`~repro.scenarios.runtime.ScenarioRuntime`'s synchronous path
 (the equivalence suite in ``tests/scenarios/test_async_control.py``
-pins this per scenario x seed x builder).
+pins this per scenario x seed x builder — with and without the fault
+layer's reliability machinery armed).
 """
 
 from __future__ import annotations
@@ -45,14 +72,18 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.base import BuildResult
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
+from repro.pubsub.faults import FaultConfig, FaultyLink
 from repro.pubsub.membership import MembershipServer
 from repro.pubsub.messages import (
     Advertise,
     Advertisement,
+    ControlAck,
     ControlEnvelope,
     DirectiveAck,
+    Heartbeat,
     OverlayDirective,
+    RejoinRequest,
     SiteSubscription,
     Subscribe,
     Withdraw,
@@ -64,6 +95,36 @@ from repro.util.validation import check_non_negative
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.invariants import InvariantAuditor
+
+#: Exponential backoff base between retransmit attempts: attempt *k*
+#: waits ``timeout * RETRANSMIT_BACKOFF**k``, capped below.
+RETRANSMIT_BACKOFF = 2.0
+#: Backoff ceiling as a multiple of the base timeout.
+RETRANSMIT_BACKOFF_CAP = 8.0
+#: Attempts after the original send before a message is abandoned —
+#: what bounds drain time when a partition outlives every backoff.
+DEFAULT_MAX_RETRANSMITS = 6
+
+
+@dataclass
+class _PendingReport:
+    """Site-side retransmit state for one sequenced report."""
+
+    site: int
+    kind: str
+    message: ControlEnvelope
+    attempts: int = 0
+    timer: Timer | None = None
+
+
+@dataclass
+class _PendingDirective:
+    """Server-side retransmit state for one (epoch, site) push."""
+
+    site: int
+    round_: "ControlRound"
+    attempts: int = 0
+    timer: Timer | None = None
 
 
 @dataclass
@@ -96,6 +157,7 @@ class ControlRound:
     convergence_ms: float | None = None
     _awaiting_install: set[int] = field(default_factory=set, repr=False)
     _awaiting_ack: set[int] = field(default_factory=set, repr=False)
+    _install_finished: bool = field(default=False, repr=False)
 
     @property
     def converged(self) -> bool:
@@ -130,6 +192,24 @@ class MembershipService:
         Optional invariant auditor; each epoch is audited when its last
         directive delivery lands, against the sites actually holding
         that epoch.
+    faults:
+        Control-link fault model; ``None`` builds one from the
+        session's ``control_loss_rate``/``control_jitter_ms`` defaults
+        (a perfect link unless configured otherwise).
+    chaos_rng:
+        Stream feeding the link's loss/jitter/duplication draws;
+        ``None`` derives ``build_rng.spawn("chaos-link")`` (spawning is
+        stateless, so the derivation cannot perturb the build streams).
+    heartbeat_ms / miss_threshold:
+        Heartbeat period and missed-beat budget of the failure
+        detector; ``None`` resolves against the session.  0 disables
+        detection entirely.
+    retransmit_timeout_ms:
+        Ack timeout arming the retransmit machinery for reports and
+        directive pushes; ``None`` resolves against the session, 0
+        keeps the legacy fire-and-forget transport (no acks at all).
+    max_retransmits:
+        Attempts after the original send before giving up.
     """
 
     def __init__(
@@ -142,14 +222,41 @@ class MembershipService:
         debounce_ms: float | None = None,
         site_delays: Mapping[int, float] | None = None,
         auditor: "InvariantAuditor | None" = None,
+        faults: FaultConfig | None = None,
+        chaos_rng: RngStream | None = None,
+        heartbeat_ms: float | None = None,
+        miss_threshold: int | None = None,
+        retransmit_timeout_ms: float | None = None,
+        max_retransmits: int = DEFAULT_MAX_RETRANSMITS,
     ) -> None:
         session = server.session
         if control_delay_ms is None:
             control_delay_ms = session.control_delay_ms
         if debounce_ms is None:
             debounce_ms = session.debounce_ms
+        if heartbeat_ms is None:
+            heartbeat_ms = session.heartbeat_ms
+        if miss_threshold is None:
+            miss_threshold = session.miss_threshold
+        if retransmit_timeout_ms is None:
+            retransmit_timeout_ms = session.retransmit_timeout_ms
+        if faults is None:
+            faults = FaultConfig(
+                loss_rate=session.control_loss_rate,
+                jitter_ms=session.control_jitter_ms,
+            )
         check_non_negative("control_delay_ms", control_delay_ms)
         check_non_negative("debounce_ms", debounce_ms)
+        check_non_negative("heartbeat_ms", heartbeat_ms)
+        check_non_negative("retransmit_timeout_ms", retransmit_timeout_ms)
+        if miss_threshold < 1:
+            raise ConfigurationError(
+                f"miss_threshold must be >= 1, got {miss_threshold}"
+            )
+        if max_retransmits < 0:
+            raise ConfigurationError(
+                f"max_retransmits must be >= 0, got {max_retransmits}"
+            )
         self.sim = sim
         self.server = server
         self.rps = rps
@@ -158,6 +265,17 @@ class MembershipService:
         self.debounce_ms = debounce_ms
         self.site_delays = site_delays
         self.auditor = auditor
+        self.faults = faults
+        self.heartbeat_ms = heartbeat_ms
+        self.miss_threshold = miss_threshold
+        self.retransmit_timeout_ms = retransmit_timeout_ms
+        self.max_retransmits = max_retransmits
+        #: The transport every control message crosses.
+        self.link = FaultyLink(
+            sim,
+            chaos_rng if chaos_rng is not None else build_rng.spawn("chaos-link"),
+            faults,
+        )
         #: Completed build rounds, in epoch order.
         self.rounds: list[ControlRound] = []
         #: Directives discarded because the RP was already ahead.
@@ -171,36 +289,107 @@ class MembershipService:
         self._pending: Timer | None = None
         self._trigger_ms: float | None = None
         self._coalesced = 0
+        # -- sequencing / idempotence --------------------------------------
+        self._next_seq: dict[int, int] = {}
+        self._applied_seq: dict[tuple[int, str], int] = {}
+        self._withdraw_floor: dict[int, int] = {}
+        #: Sites withdrawn (by message or by the failure detector) since
+        #: their last applied registration: a second withdrawal for one
+        #: of these is redundant and must not roll another epoch.
+        self._withdrawn: set[int] = set()
+        self.duplicates_discarded = 0
+        self.stale_reports_discarded = 0
+        self.duplicate_withdraws = 0
+        self.duplicate_directives = 0
+        self.duplicate_acks = 0
+        # -- retransmission ------------------------------------------------
+        self._unacked: dict[tuple[int, int], _PendingReport] = {}
+        self._pending_directives: dict[tuple[int, int], _PendingDirective] = {}
+        self.retransmits = 0
+        self.retransmit_giveups = 0
+        # -- heartbeats / failure detection --------------------------------
+        self._live: set[int] = set()
+        self._heartbeat_timers: dict[int, Timer] = {}
+        self._last_seen: dict[int, float] = {}
+        self._fail_times: dict[int, float] = {}
+        self._quiesced = False
+        self.heartbeats_sent = 0
+        self.heartbeats_received = 0
+        self.detected_failures = 0
+        self.false_suspicions = 0
+        self.rejoin_requests = 0
+        self.readmissions = 0
+        #: Silence-to-withdrawal latency per detected real failure.
+        self.detection_latencies: list[float] = []
+        self._detector: Timer | None = None
+        if self.heartbeat_ms > 0:
+            self._detector = sim.schedule_timer(
+                self.heartbeat_ms, self._detect, interval_ms=self.heartbeat_ms
+            )
+
+    @property
+    def reliable(self) -> bool:
+        """True when the ack/retransmit machinery is armed."""
+        return self.retransmit_timeout_ms > 0
 
     # -- site-side transport entry points -----------------------------------------
 
     def advertise(self, advertisement: Advertisement) -> Advertise:
         """Send an advertisement over the site's control link."""
+        site = advertisement.site
         message = Advertise(
             sent_ms=self.sim.now,
-            epoch=self._site_epoch(advertisement.site),
+            epoch=self._site_epoch(site),
             advertisement=advertisement,
+            seq=self._take_seq(site),
         )
-        self._send(message)
+        self._site_alive(site)
+        self._send(message, site)
         return message
 
     def subscribe(self, subscription: SiteSubscription) -> Subscribe:
         """Send an aggregated subscription over the site's control link."""
+        site = subscription.site
         message = Subscribe(
             sent_ms=self.sim.now,
-            epoch=self._site_epoch(subscription.site),
+            epoch=self._site_epoch(site),
             subscription=subscription,
+            seq=self._take_seq(site),
         )
-        self._send(message)
+        self._site_alive(site)
+        self._send(message, site)
         return message
 
     def withdraw(self, site: int) -> Withdraw:
-        """Send a withdrawal (leave or declared failure) for ``site``."""
+        """Send a withdrawal (graceful leave or declared failure)."""
         message = Withdraw(
-            sent_ms=self.sim.now, epoch=self._site_epoch(site), site=site
+            sent_ms=self.sim.now,
+            epoch=self._site_epoch(site),
+            site=site,
+            seq=self._take_seq(site),
         )
-        self._send(message)
+        self._site_down(site)
+        self._send(message, site)
         return message
+
+    def fail_site(self, site: int) -> Withdraw | None:
+        """An abrupt site death.
+
+        With heartbeat detection on, *nothing* is sent — the site just
+        falls silent (its heartbeats stop, its pending retransmits die
+        with it) and the server must detect the failure.  Without
+        heartbeats this degrades to a declared withdrawal, the legacy
+        model.
+        """
+        if self.heartbeat_ms <= 0:
+            return self.withdraw(site)
+        self._site_down(site)
+        self._fail_times[site] = self.sim.now
+        for key in [k for k in self._unacked if k[0] == site]:
+            entry = self._unacked.pop(key)
+            if entry.timer is not None:
+                entry.timer.cancel()
+        return None
 
     def mark_dirty(self) -> None:
         """Force a build round even without control traffic.
@@ -210,6 +399,21 @@ class MembershipService:
         runtime always runs its bootstrap round).
         """
         self._mark_dirty()
+
+    def quiesce(self) -> None:
+        """Stop periodic work (heartbeats + detector) so a drain terminates.
+
+        In-flight traffic and bounded retransmits still land; only the
+        self-rearming timers are silenced.  Used by the scenario runtime
+        at the horizon before its final drain.
+        """
+        self._quiesced = True
+        for timer in self._heartbeat_timers.values():
+            timer.cancel()
+        self._heartbeat_timers.clear()
+        if self._detector is not None:
+            self._detector.cancel()
+            self._detector = None
 
     # -- message propagation -------------------------------------------------------
 
@@ -223,27 +427,245 @@ class MembershipService:
         rp = self.rps.get(site)
         return rp.epoch if rp is not None else -1
 
-    def _send(self, message: ControlEnvelope) -> None:
-        site = message.site  # type: ignore[attr-defined]
-        self.sim.schedule_in(
-            self.delay_for(site), lambda: self._receive(message)
+    def _take_seq(self, site: int) -> int:
+        """Next per-site sequence number (monotonic across rejoins)."""
+        seq = self._next_seq.get(site, 0) + 1
+        self._next_seq[site] = seq
+        return seq
+
+    def _send(self, message: ControlEnvelope, site: int | None = None) -> None:
+        if site is None:
+            site = message.site  # type: ignore[attr-defined]
+        kind = _kind_of(message)
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._receive(message),
+            kind=kind,
+            message=message,
         )
+        if self.reliable and kind != "heartbeat":
+            self._track_report(site, message, kind)
+
+    def _track_report(
+        self, site: int, message: ControlEnvelope, kind: str
+    ) -> None:
+        entry = _PendingReport(site=site, kind=kind, message=message)
+        self._unacked[(site, message.seq)] = entry
+        entry.timer = self.sim.schedule_timer(
+            self.retransmit_timeout_ms,
+            lambda: self._retransmit_report(site, message.seq),
+        )
+
+    def _retransmit_report(self, site: int, seq: int) -> None:
+        entry = self._unacked.get((site, seq))
+        if entry is None:
+            return
+        if entry.attempts >= self.max_retransmits:
+            del self._unacked[(site, seq)]
+            self.retransmit_giveups += 1
+            return
+        entry.attempts += 1
+        self.retransmits += 1
+        message = entry.message
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._receive(message),
+            kind=entry.kind,
+            message=message,
+            attempt=entry.attempts,
+        )
+        entry.timer = self.sim.schedule_timer(
+            self._backoff(entry.attempts),
+            lambda: self._retransmit_report(site, seq),
+        )
+
+    def _backoff(self, attempts: int) -> float:
+        """Capped exponential wait before retransmit attempt ``attempts+1``."""
+        return min(
+            self.retransmit_timeout_ms * (RETRANSMIT_BACKOFF**attempts),
+            self.retransmit_timeout_ms * RETRANSMIT_BACKOFF_CAP,
+        )
+
+    # -- server-side arrival --------------------------------------------------------
 
     def _receive(self, message: ControlEnvelope) -> None:
         """Server-side arrival of one control envelope."""
+        if isinstance(message, Heartbeat):
+            self._receive_heartbeat(message)
+            return
+        site: int = message.site  # type: ignore[attr-defined]
+        kind = _kind_of(message)
+        self._last_seen[site] = self.sim.now
+        verdict = self._classify(site, kind, message.seq)
+        if verdict != "apply":
+            if verdict == "duplicate":
+                self.duplicates_discarded += 1
+            else:
+                self.stale_reports_discarded += 1
+            # Idempotent discard: no re-dirtying — but in reliable mode
+            # re-ack so the sender's retransmit loop stops.
+            if self.reliable:
+                self._ack_report(site, kind, message.seq)
+            return
         if isinstance(message, Advertise):
             self.server.register_advertisement(message.advertisement)
+            self._withdrawn.discard(site)
         elif isinstance(message, Subscribe):
             self.server.register_subscription(message.subscription)
+            self._withdrawn.discard(site)
         elif isinstance(message, Withdraw):
-            self.server.withdraw_site(message.site)
+            if message.seq > 0:
+                # Any slower pre-leave report must not resurrect the site.
+                self._withdraw_floor[site] = max(
+                    self._withdraw_floor.get(site, 0), message.seq
+                )
+            if site in self._withdrawn:
+                # The failure detector (or an earlier withdrawal) beat
+                # this message to it: applying it again would roll a
+                # second epoch for one departure.
+                self.duplicate_withdraws += 1
+                if self.reliable:
+                    self._ack_report(site, kind, message.seq)
+                return
+            self.server.withdraw_site(site)
+            self._withdrawn.add(site)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected control message {message!r}")
-        # Any arrival dirties the round — even a payload the dirty-tracked
-        # registration skipped.  The synchronous model rebuilds on every
-        # report, and randomized builders make "rebuild with unchanged
-        # workload" an observable event, so triggering must not depend on
-        # whether the payload changed.
+        if self.reliable:
+            self._ack_report(site, kind, message.seq)
+        # Any applied arrival dirties the round — even a payload the
+        # dirty-tracked registration skipped.  The synchronous model
+        # rebuilds on every report, and randomized builders make
+        # "rebuild with unchanged workload" an observable event, so
+        # triggering must not depend on whether the payload changed.
+        self._mark_dirty()
+
+    def _classify(self, site: int, kind: str, seq: int) -> str:
+        """``apply`` | ``duplicate`` | ``stale`` for one sequenced report."""
+        if seq <= 0:
+            return "apply"  # unsequenced envelope (hand-built or legacy)
+        if seq <= self._applied_seq.get((site, kind), 0):
+            return "duplicate"
+        if kind != "withdraw" and seq < self._withdraw_floor.get(site, 0):
+            # Reordered pre-withdraw state arriving after the leave.
+            return "stale"
+        self._applied_seq[(site, kind)] = seq
+        return "apply"
+
+    def _ack_report(self, site: int, kind: str, seq: int) -> None:
+        if seq <= 0:
+            return
+        ack = ControlAck(
+            sent_ms=self.sim.now, epoch=-1, site=site, acked_seq=seq, kind=kind
+        )
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._receive_control_ack(ack),
+            kind="control-ack",
+            message=ack,
+        )
+
+    def _receive_control_ack(self, ack: ControlAck) -> None:
+        """Site-side arrival of a report ack: stop that retransmit loop."""
+        entry = self._unacked.pop((ack.site, ack.acked_seq), None)
+        if entry is None:
+            self.duplicate_acks += 1
+            return
+        if entry.timer is not None:
+            entry.timer.cancel()
+
+    # -- heartbeats / failure detection ----------------------------------------------
+
+    def _site_alive(self, site: int) -> None:
+        self._live.add(site)
+        self._fail_times.pop(site, None)
+        self._start_heartbeat(site)
+
+    def _site_down(self, site: int) -> None:
+        self._live.discard(site)
+        timer = self._heartbeat_timers.pop(site, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _start_heartbeat(self, site: int) -> None:
+        if (
+            self.heartbeat_ms <= 0
+            or self._quiesced
+            or site in self._heartbeat_timers
+        ):
+            return
+        self._heartbeat_timers[site] = self.sim.schedule_timer(
+            self.heartbeat_ms,
+            lambda: self._beat(site),
+            interval_ms=self.heartbeat_ms,
+        )
+
+    def _beat(self, site: int) -> None:
+        if site not in self._live or self._quiesced:
+            return
+        self.heartbeats_sent += 1
+        message = Heartbeat(
+            sent_ms=self.sim.now, epoch=self._site_epoch(site), site=site
+        )
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._receive(message),
+            kind="heartbeat",
+            message=message,
+        )
+
+    def _receive_heartbeat(self, message: Heartbeat) -> None:
+        site = message.site
+        self.heartbeats_received += 1
+        self._last_seen[site] = self.sim.now
+        if not self.server.is_registered(site):
+            # A zombie: alive enough to beat, but the server forgot it
+            # (suspected across a partition, or every report was lost).
+            # Ask it to rejoin; the request rides the same lossy link,
+            # and the next beat re-provokes it if this copy drops.
+            self.rejoin_requests += 1
+            request = RejoinRequest(sent_ms=self.sim.now, epoch=-1, site=site)
+            self.link.transmit(
+                site,
+                self.delay_for(site),
+                lambda: self._receive_rejoin(request),
+                kind="rejoin",
+                message=request,
+            )
+
+    def _receive_rejoin(self, request: RejoinRequest) -> None:
+        """Site-side arrival of a rejoin request: re-announce if alive."""
+        site = request.site
+        if site not in self._live:
+            return  # left or died in the meantime: nothing to re-admit
+        self.readmissions += 1
+        rp = self.rps[site]
+        self.advertise(rp.advertisement())
+        self.subscribe(rp.aggregate_subscription())
+
+    def _detect(self) -> None:
+        """Recurring server-side sweep: suspect silent registered sites."""
+        deadline = self.miss_threshold * self.heartbeat_ms
+        now = self.sim.now
+        for site in self.server.registered_sites():
+            if now - self._last_seen.get(site, now) > deadline:
+                self._suspect(site)
+
+    def _suspect(self, site: int) -> None:
+        """Withdraw a silent site server-side (detected failure)."""
+        self.detected_failures += 1
+        if site in self._live:
+            self.false_suspicions += 1
+        else:
+            fail_ms = self._fail_times.pop(site, None)
+            if fail_ms is not None:
+                self.detection_latencies.append(self.sim.now - fail_ms)
+        self._withdrawn.add(site)
+        self.server.withdraw_site(site)
         self._mark_dirty()
 
     # -- debounced build rounds ------------------------------------------------------
@@ -291,17 +713,81 @@ class MembershipService:
             self._finish_install(round_)
             return
         for site in installed:
-            self.sim.schedule_in(
-                self.delay_for(site),
-                lambda site=site: self._deliver(site, round_),
-            )
+            self._push_directive(site, round_)
 
     # -- directive installation ------------------------------------------------------
+
+    def _push_directive(self, site: int, round_: ControlRound) -> None:
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._deliver(site, round_),
+            kind="directive",
+            message=round_.directive,
+        )
+        if self.reliable:
+            entry = _PendingDirective(site=site, round_=round_)
+            self._pending_directives[(round_.epoch, site)] = entry
+            entry.timer = self.sim.schedule_timer(
+                self.retransmit_timeout_ms,
+                lambda: self._retransmit_directive(site, round_.epoch),
+            )
+
+    def _retransmit_directive(self, site: int, epoch: int) -> None:
+        entry = self._pending_directives.get((epoch, site))
+        if entry is None:
+            return
+        round_ = entry.round_
+        if entry.attempts >= self.max_retransmits:
+            del self._pending_directives[(epoch, site)]
+            self.retransmit_giveups += 1
+            # Unreachable for this epoch (partitioned or dead): stop
+            # waiting so the round can settle.  A later epoch, or the
+            # site's re-admission, brings it back up to date.
+            round_._awaiting_ack.discard(site)
+            self._check_converged(round_)
+            if site in round_._awaiting_install:
+                round_._awaiting_install.discard(site)
+                if not round_._awaiting_install:
+                    self._finish_install(round_)
+            return
+        entry.attempts += 1
+        self.retransmits += 1
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._deliver(site, round_),
+            kind="directive",
+            message=round_.directive,
+            attempt=entry.attempts,
+        )
+        entry.timer = self.sim.schedule_timer(
+            self._backoff(entry.attempts),
+            lambda: self._retransmit_directive(site, epoch),
+        )
+
+    def _cancel_pending_directive(self, site: int, epoch: int) -> None:
+        entry = self._pending_directives.pop((epoch, site), None)
+        if entry is not None and entry.timer is not None:
+            entry.timer.cancel()
 
     def _deliver(self, site: int, round_: ControlRound) -> None:
         """One directive lands at one RP (apply, ack — or discard)."""
         rp = self.rps[site]
         directive = round_.directive
+        if site not in round_._awaiting_install:
+            # A duplicate copy (link duplication, or a retransmit racing
+            # its own ack).  The first arrival did the work; if the
+            # server is still retransmitting because the ack was lost,
+            # re-ack so it stops.
+            self.duplicate_directives += 1
+            if (
+                self.reliable
+                and site not in round_.stale_sites
+                and rp.epoch >= directive.epoch
+            ):
+                self._send_directive_ack(site, round_)
+            return
         if rp.epoch >= directive.epoch:
             # Out-of-order delivery: the RP already installed a newer
             # epoch, so this directive is stale and must not roll the
@@ -309,24 +795,36 @@ class MembershipService:
             self.stale_directives += 1
             round_.stale_sites = round_.stale_sites + (site,)
             round_._awaiting_ack.discard(site)
+            self._cancel_pending_directive(site, round_.epoch)
             self._check_converged(round_)
         else:
             rp.apply_directive(directive)
-            ack = DirectiveAck(
-                sent_ms=self.sim.now, epoch=directive.epoch, site=site
-            )
-            self.sim.schedule_in(
-                self.delay_for(site), lambda: self._receive_ack(ack, round_)
-            )
+            self._send_directive_ack(site, round_)
         round_._awaiting_install.discard(site)
         if not round_._awaiting_install:
             self._finish_install(round_)
+
+    def _send_directive_ack(self, site: int, round_: ControlRound) -> None:
+        ack = DirectiveAck(
+            sent_ms=self.sim.now, epoch=round_.directive.epoch, site=site
+        )
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._receive_ack(ack, round_),
+            kind="directive-ack",
+            message=ack,
+        )
 
     def _receive_ack(self, ack: DirectiveAck, round_: ControlRound) -> None:
         if ack.epoch != round_.epoch:
             raise ProtocolError(
                 f"ack for epoch {ack.epoch} routed to round {round_.epoch}"
             )
+        self._cancel_pending_directive(ack.site, round_.epoch)
+        if ack.site not in round_._awaiting_ack:
+            self.duplicate_acks += 1
+            return
         round_.acked[ack.site] = self.sim.now
         round_._awaiting_ack.discard(ack.site)
         self._check_converged(round_)
@@ -337,6 +835,9 @@ class MembershipService:
 
     def _finish_install(self, round_: ControlRound) -> None:
         """All deliveries for the epoch landed: audit the installed state."""
+        if round_._install_finished:
+            return
+        round_._install_finished = True
         if self.auditor is not None:
             # Audit the epoch against the sites actually holding it;
             # under delay skew a fast site may already be ahead (it will
@@ -364,6 +865,11 @@ class MembershipService:
         """True while a debounce window is open."""
         return self._pending is not None
 
+    @property
+    def live_sites(self) -> set[int]:
+        """Sites the service-side transport currently considers alive."""
+        return set(self._live)
+
     def converged_rounds(self) -> list[ControlRound]:
         """Rounds whose last ack has arrived."""
         return [round_ for round_ in self.rounds if round_.converged]
@@ -382,6 +888,18 @@ class MembershipService:
             return 0.0
         return max(r.convergence_ms for r in converged)
 
+    def mean_detection_ms(self) -> float:
+        """Mean silence-to-withdrawal latency over detected real failures."""
+        if not self.detection_latencies:
+            return 0.0
+        return sum(self.detection_latencies) / len(self.detection_latencies)
+
+    def max_detection_ms(self) -> float:
+        """Worst-case detection latency over detected real failures."""
+        if not self.detection_latencies:
+            return 0.0
+        return max(self.detection_latencies)
+
     def overlapping_rounds(self) -> int:
         """Rounds triggered while the previous round was still converging.
 
@@ -397,3 +915,16 @@ class MembershipService:
             elif current.trigger_ms < previous.trigger_ms + previous.convergence_ms:
                 overlaps += 1
         return overlaps
+
+
+def _kind_of(message: ControlEnvelope) -> str:
+    """Wire-kind label of a site-to-server envelope (dedup/fault routing)."""
+    if isinstance(message, Advertise):
+        return "advertise"
+    if isinstance(message, Subscribe):
+        return "subscribe"
+    if isinstance(message, Withdraw):
+        return "withdraw"
+    if isinstance(message, Heartbeat):
+        return "heartbeat"
+    return type(message).__name__.lower()

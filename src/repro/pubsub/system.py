@@ -121,13 +121,20 @@ class PubSubSystem:
         debounce_ms: float | None = None,
         site_delays: dict[int, float] | None = None,
         auditor=None,
+        faults=None,
+        chaos_rng: RngStream | None = None,
+        heartbeat_ms: float | None = None,
+        miss_threshold: int | None = None,
+        retransmit_timeout_ms: float | None = None,
     ):
         """Attach this system's server and RPs to an event-driven service.
 
         Returns a :class:`~repro.pubsub.service.MembershipService` on
-        ``sim``; delay/debounce default to the session's knobs.  The
-        synchronous :meth:`run_control_round` and the service share one
-        server, so don't interleave the two control styles in one run.
+        ``sim``; delay/debounce — and the chaos knobs (fault model,
+        heartbeat detection, retransmission) — default to the session's
+        values.  The synchronous :meth:`run_control_round` and the
+        service share one server, so don't interleave the two control
+        styles in one run.
         """
         from repro.pubsub.service import MembershipService
 
@@ -140,6 +147,11 @@ class PubSubSystem:
             debounce_ms=debounce_ms,
             site_delays=site_delays,
             auditor=auditor,
+            faults=faults,
+            chaos_rng=chaos_rng,
+            heartbeat_ms=heartbeat_ms,
+            miss_threshold=miss_threshold,
+            retransmit_timeout_ms=retransmit_timeout_ms,
         )
 
     # -- inspection --------------------------------------------------------------------

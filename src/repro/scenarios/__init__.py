@@ -19,7 +19,11 @@ per-round control-convergence latency, still on one deterministic
 clock.
 """
 
-from repro.scenarios.library import get_scenario, scenario_names
+from repro.scenarios.library import (
+    chaos_scenario_names,
+    get_scenario,
+    scenario_names,
+)
 from repro.scenarios.runtime import ScenarioReport, ScenarioRuntime, run_scenario
 from repro.scenarios.spec import (
     EventKind,
@@ -38,4 +42,5 @@ __all__ = [
     "run_scenario",
     "get_scenario",
     "scenario_names",
+    "chaos_scenario_names",
 ]

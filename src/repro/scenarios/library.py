@@ -13,6 +13,14 @@ seed so the same scenario scales from smoke test to stress run:
   the rejection machinery through every round;
 * ``mixed-churn`` — a long session mixing all of the above.
 
+On top of the six base shapes sits a *chaos family*
+(:func:`chaos_scenario_names`): the same schedules replayed through the
+event-driven control plane over an impaired link — message loss,
+jitter, duplication, timed partitions — with retransmission and
+heartbeat failure detection armed.  The chaos variants are a separate
+registry so the base-family digest pins (six names, fixed order) stay
+untouched; :func:`get_scenario` resolves both.
+
 Every factory returns a plain :class:`~repro.scenarios.spec.ScenarioSpec`;
 use :func:`get_scenario` / :func:`scenario_names` for lookup and
 :func:`repro.scenarios.runtime.run_scenario` to execute one.
@@ -20,9 +28,11 @@ use :func:`get_scenario` / :func:`scenario_names` for lookup and
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.pubsub.faults import PartitionWindow
 from repro.scenarios.spec import EventKind, SchedulePhase, ScenarioSpec
 
 
@@ -126,6 +136,69 @@ def mixed_churn(sites: int = 8, seed: int = 7) -> ScenarioSpec:
     )
 
 
+def lossy_flash_crowd(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """The join burst over a 20%-lossy, jittered link with retransmission.
+
+    Every admission report may be dropped or reordered; the retransmit
+    machinery must still get every site registered and every round
+    audit-clean.
+    """
+    return replace(
+        flash_crowd(sites, seed),
+        name="lossy-flash-crowd",
+        async_control=True,
+        control_delay_ms=20.0,
+        debounce_ms=10.0,
+        loss_rate=0.2,
+        jitter_ms=8.0,
+        duplicate_rate=0.05,
+        retransmit_timeout_ms=60.0,
+    )
+
+
+def heartbeat_rolling_failure(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Rolling abrupt failures that must be *detected*, not declared.
+
+    Failed sites fall silent; the server withdraws them only after
+    ``miss_threshold`` missed beats, and rejoining sites are re-admitted
+    over the same lossy link.
+    """
+    return replace(
+        rolling_failure(sites, seed),
+        name="heartbeat-rolling-failure",
+        async_control=True,
+        control_delay_ms=15.0,
+        debounce_ms=10.0,
+        loss_rate=0.2,
+        jitter_ms=5.0,
+        retransmit_timeout_ms=60.0,
+        heartbeat_ms=40.0,
+        miss_threshold=3,
+    )
+
+
+def partitioned_churn(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Mixed churn with a timed site partition that heals mid-run.
+
+    The partitioned site is falsely suspected (its beats cannot cross
+    the cut), withdrawn, and must re-admit itself cleanly once the
+    window closes — the full zombie round-trip.
+    """
+    return replace(
+        mixed_churn(sites, seed),
+        name="partitioned-churn",
+        async_control=True,
+        control_delay_ms=15.0,
+        debounce_ms=10.0,
+        loss_rate=0.1,
+        jitter_ms=5.0,
+        retransmit_timeout_ms=60.0,
+        heartbeat_ms=40.0,
+        miss_threshold=3,
+        partitions=(PartitionWindow(site=0, start_ms=600.0, end_ms=1100.0),),
+    )
+
+
 _SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
     "flash-crowd": flash_crowd,
     "mass-leave": mass_leave,
@@ -135,18 +208,32 @@ _SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
     "mixed-churn": mixed_churn,
 }
 
+#: The chaos family lives in its own registry: ``scenario_names()`` is
+#: pinned to the six base shapes by the digest suite, so new families
+#: must not leak into it.
+_CHAOS_SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
+    "lossy-flash-crowd": lossy_flash_crowd,
+    "heartbeat-rolling-failure": heartbeat_rolling_failure,
+    "partitioned-churn": partitioned_churn,
+}
+
 
 def scenario_names() -> list[str]:
-    """Names accepted by :func:`get_scenario`, sorted."""
+    """Base-family names, sorted (the digest-pinned six)."""
     return sorted(_SCENARIOS)
 
 
+def chaos_scenario_names() -> list[str]:
+    """Chaos-family names, sorted."""
+    return sorted(_CHAOS_SCENARIOS)
+
+
 def get_scenario(name: str, sites: int = 8, seed: int = 7) -> ScenarioSpec:
-    """Instantiate a named scenario for a given pool size and seed."""
-    try:
-        factory = _SCENARIOS[name.lower()]
-    except KeyError:
-        known = ", ".join(scenario_names())
+    """Instantiate a named scenario (either family) for a pool size and seed."""
+    key = name.lower()
+    factory = _SCENARIOS.get(key) or _CHAOS_SCENARIOS.get(key)
+    if factory is None:
+        known = ", ".join(scenario_names() + chaos_scenario_names())
         raise ConfigurationError(
             f"unknown scenario {name!r}; known scenarios: {known}"
         ) from None

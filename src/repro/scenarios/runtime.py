@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.registry import make_builder
+from repro.pubsub.faults import FaultConfig
 from repro.pubsub.membership import MembershipServer
 from repro.pubsub.messages import DisplaySubscription, OverlayDirective
 from repro.pubsub.rp import RPAgent
@@ -90,6 +91,32 @@ class ScenarioReport:
     #: Rounds whose dirty window opened while the previous round was
     #: still propagating/acking — the overlap the sync model forbids.
     overlapping_rounds: int = 0
+    #: Chaos / robustness results (all zero unless the spec impaired the
+    #: control link or armed heartbeats/retransmission).
+    chaos: bool = False
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    retransmits: int = 0
+    retransmit_giveups: int = 0
+    duplicates_discarded: int = 0
+    stale_reports_discarded: int = 0
+    duplicate_withdraws: int = 0
+    heartbeats_sent: int = 0
+    #: Server-side silence detections that turned into withdrawals.
+    detected_failures: int = 0
+    #: Detections whose site was actually still alive (partition or
+    #: heavy loss mimicking death).  These self-heal via re-admission.
+    false_suspicions: int = 0
+    #: Zombie sites re-admitted as fresh joins after a false suspicion.
+    readmissions: int = 0
+    #: Mean/max silence-to-withdrawal latency over real failures.
+    mean_detection_ms: float = 0.0
+    max_detection_ms: float = 0.0
+    #: Sites still active at the end of the run that the server no
+    #: longer knows — suspicions that never healed.  The chaos CI gate
+    #: requires this to be zero.
+    unrecovered_suspicions: int = 0
 
     @property
     def rejection_ratio(self) -> float:
@@ -150,6 +177,24 @@ class ScenarioReport:
                 f"{self.max_convergence_ms:.1f}ms, "
                 f"{self.overlapping_rounds} overlapping rounds, "
                 f"{self.stale_directives} stale directives discarded"
+            )
+        if self.chaos:
+            lines.append(
+                f"chaos: {self.messages_sent} sent, "
+                f"{self.messages_dropped} dropped, "
+                f"{self.messages_duplicated} duplicated, "
+                f"{self.retransmits} retransmits "
+                f"({self.retransmit_giveups} give-ups), "
+                f"{self.duplicates_discarded + self.stale_reports_discarded} "
+                f"dup/stale reports discarded"
+            )
+            lines.append(
+                f"detection: {self.detected_failures} failures detected "
+                f"(mean {self.mean_detection_ms:.1f}ms / max "
+                f"{self.max_detection_ms:.1f}ms), "
+                f"{self.false_suspicions} false suspicions, "
+                f"{self.readmissions} re-admissions, "
+                f"{self.unrecovered_suspicions} unrecovered"
             )
         if self.dataplane_frames_delivered:
             lines.append(
@@ -239,6 +284,16 @@ class ScenarioRuntime:
                 control_delay_ms=spec.control_delay_ms,
                 debounce_ms=spec.debounce_ms,
                 auditor=self.auditor,
+                faults=FaultConfig(
+                    loss_rate=spec.loss_rate,
+                    jitter_ms=spec.jitter_ms,
+                    duplicate_rate=spec.duplicate_rate,
+                    partitions=spec.partitions,
+                ),
+                chaos_rng=self.rng.spawn("chaos"),
+                heartbeat_ms=spec.heartbeat_ms,
+                miss_threshold=spec.miss_threshold,
+                retransmit_timeout_ms=spec.retransmit_timeout_ms,
             )
             self.service.on_round = self._record_async_round
 
@@ -263,6 +318,11 @@ class ScenarioRuntime:
                 problem_assembly=spec.problem_assembly,
                 control_delay_ms=spec.control_delay_ms,
                 debounce_ms=spec.debounce_ms,
+                control_loss_rate=spec.loss_rate,
+                control_jitter_ms=spec.jitter_ms,
+                heartbeat_ms=spec.heartbeat_ms,
+                miss_threshold=spec.miss_threshold,
+                retransmit_timeout_ms=spec.retransmit_timeout_ms,
                 backend=spec.backend,
             ),
         )
@@ -290,9 +350,13 @@ class ScenarioRuntime:
             )
         self.sim.run(until_ms=self.spec.duration_ms)
         if self.service is not None:
-            # Drain in-flight control traffic (builds, directives, acks
-            # scheduled before the horizon but landing after it) so every
-            # triggered round installs and reports its convergence.
+            # Silence the self-rearming timers (heartbeats, failure
+            # detector) at the horizon, then drain in-flight control
+            # traffic (builds, directives, acks, bounded retransmits
+            # scheduled before the horizon but landing after it) so
+            # every triggered round installs and reports its
+            # convergence.
+            self.service.quiesce()
             self.sim.run()
         self.report.final_active = len(self.active)
         self.report.repairs = self.server.repairs
@@ -343,14 +407,21 @@ class ScenarioRuntime:
         """Remove a site; a graceful leave also clears its local RP state.
 
         An abrupt failure leaves the RP's display subscriptions and stale
-        forwarding table in place — only the server forgets the site, as
-        it would after missing heartbeats.  Under async control the
-        withdrawal travels the control link like any other message.
+        forwarding table in place — only the server forgets the site.
+        Under async control a graceful leave travels the control link as
+        a withdrawal, while an abrupt failure goes through
+        :meth:`~repro.pubsub.service.MembershipService.fail_site`: with
+        heartbeats armed the site simply falls silent and the server
+        must *detect* the death; without them it degrades to the same
+        declared withdrawal.
         """
         self.active.discard(site)
         self._active_streams = None
         if self.service is not None:
-            self.service.withdraw(site)
+            if graceful:
+                self.service.withdraw(site)
+            else:
+                self.service.fail_site(site)
         else:
             self.server.withdraw_site(site)
         if graceful:
@@ -454,6 +525,33 @@ class ScenarioRuntime:
         self.report.max_convergence_ms = service.max_convergence_ms()
         self.report.stale_directives = service.stale_directives
         self.report.overlapping_rounds = service.overlapping_rounds()
+        self.report.chaos = bool(
+            service.faults.impaired
+            or service.reliable
+            or service.heartbeat_ms > 0
+        )
+        if self.report.chaos:
+            link = service.link
+            self.report.messages_sent = link.sent
+            self.report.messages_dropped = link.dropped
+            self.report.messages_duplicated = link.duplicated
+            self.report.retransmits = service.retransmits
+            self.report.retransmit_giveups = service.retransmit_giveups
+            self.report.duplicates_discarded = service.duplicates_discarded
+            self.report.stale_reports_discarded = (
+                service.stale_reports_discarded
+            )
+            self.report.duplicate_withdraws = service.duplicate_withdraws
+            self.report.heartbeats_sent = service.heartbeats_sent
+            self.report.detected_failures = service.detected_failures
+            self.report.false_suspicions = service.false_suspicions
+            self.report.readmissions = service.readmissions
+            self.report.mean_detection_ms = service.mean_detection_ms()
+            self.report.max_detection_ms = service.max_detection_ms()
+            registered = set(self.server.registered_sites())
+            self.report.unrecovered_suspicions = sum(
+                1 for site in self.active if site not in registered
+            )
 
 
     def _measure_dataplane(self, result) -> None:

@@ -23,8 +23,14 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.pubsub.faults import PartitionWindow
 from repro.util.rng import RngStream
-from repro.util.validation import check_assembly_policy, check_rebuild_policy
+from repro.util.validation import (
+    check_assembly_policy,
+    check_non_negative,
+    check_probability,
+    check_rebuild_policy,
+)
 
 
 class EventKind(enum.Enum):
@@ -113,6 +119,21 @@ class ScenarioSpec:
     control_delay_ms / debounce_ms:
         One-way control-link propagation delay and the service's
         dirty-state coalescing window (require ``async_control``).
+    loss_rate / jitter_ms / duplicate_rate / partitions:
+        Control-link fault model (see :mod:`repro.pubsub.faults`):
+        per-message drop probability, uniform delay jitter, duplicate
+        delivery probability, and timed site<->server partitions.  All
+        require ``async_control`` (the synchronous path has no links to
+        impair).
+    heartbeat_ms / miss_threshold:
+        Failure-detection knobs: live sites beat every
+        ``heartbeat_ms``; the server withdraws a registered site silent
+        for ``miss_threshold`` beat periods.  0 disables detection (an
+        abrupt FAIL degrades to a declared withdrawal).
+    retransmit_timeout_ms:
+        Ack timeout arming retransmission with capped exponential
+        backoff for reports and directive pushes; 0 keeps the legacy
+        fire-and-forget transport.
     nodes:
         Capacity family, ``uniform`` or ``heterogeneous``.
     capacity_base / capacity_jitter / streams_per_site:
@@ -144,6 +165,13 @@ class ScenarioSpec:
     async_control: bool = False
     control_delay_ms: float = 0.0
     debounce_ms: float = 0.0
+    loss_rate: float = 0.0
+    jitter_ms: float = 0.0
+    duplicate_rate: float = 0.0
+    partitions: tuple[PartitionWindow, ...] = ()
+    heartbeat_ms: float = 0.0
+    miss_threshold: int = 3
+    retransmit_timeout_ms: float = 0.0
     backend: str = "auto"
 
     def __post_init__(self) -> None:
@@ -186,6 +214,28 @@ class ScenarioSpec:
             raise ConfigurationError(
                 "control_delay_ms/debounce_ms require async_control=True "
                 "(the synchronous path has no control links to delay)"
+            )
+        check_probability("loss_rate", self.loss_rate)
+        check_non_negative("jitter_ms", self.jitter_ms)
+        check_probability("duplicate_rate", self.duplicate_rate)
+        check_non_negative("heartbeat_ms", self.heartbeat_ms)
+        check_non_negative("retransmit_timeout_ms", self.retransmit_timeout_ms)
+        if self.miss_threshold < 1:
+            raise ConfigurationError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+        chaotic = bool(
+            self.loss_rate
+            or self.jitter_ms
+            or self.duplicate_rate
+            or self.partitions
+            or self.heartbeat_ms
+            or self.retransmit_timeout_ms
+        )
+        if chaotic and not self.async_control:
+            raise ConfigurationError(
+                "fault/heartbeat/retransmit knobs require async_control=True "
+                "(the synchronous path has no control links to impair)"
             )
 
     def compile(self, rng: RngStream) -> list[ScenarioEvent]:
@@ -235,8 +285,24 @@ class ScenarioSpec:
             if self.async_control
             else ""
         )
+        chaos_bits = []
+        if self.loss_rate:
+            chaos_bits.append(f"loss={self.loss_rate:.0%}")
+        if self.jitter_ms:
+            chaos_bits.append(f"jitter={self.jitter_ms:.0f}ms")
+        if self.duplicate_rate:
+            chaos_bits.append(f"dup={self.duplicate_rate:.0%}")
+        if self.partitions:
+            chaos_bits.append(f"partitions={len(self.partitions)}")
+        if self.heartbeat_ms:
+            chaos_bits.append(
+                f"hb={self.heartbeat_ms:.0f}ms x{self.miss_threshold}"
+            )
+        if self.retransmit_timeout_ms:
+            chaos_bits.append(f"rto={self.retransmit_timeout_ms:.0f}ms")
+        chaos = f" chaos({','.join(chaos_bits)})" if chaos_bits else ""
         return (
             f"{self.name}: pool={self.n_sites} start={self.initial_active} "
             f"{self.duration_ms:.0f}ms [{mix or 'static'}] alg={self.algorithm}"
-            f"{policy}{assembly}{control}"
+            f"{policy}{assembly}{control}{chaos}"
         )

@@ -48,6 +48,19 @@ class SessionConfig:
     #: Default debounce window the membership service coalesces dirty
     #: control state over before building a round.
     debounce_ms: float = 0.0
+    #: Default control-link fault model for event-driven control planes
+    #: over this session (per-message drop probability and uniform delay
+    #: jitter; 0/0 = a perfect link, the pre-chaos behavior).
+    control_loss_rate: float = 0.0
+    control_jitter_ms: float = 0.0
+    #: Default heartbeat period for the event-driven control plane
+    #: (0 = heartbeats off: failures must be declared, not detected).
+    heartbeat_ms: float = 0.0
+    #: Missed-beat count before the server suspects a silent site.
+    miss_threshold: int = 3
+    #: Default ack timeout before a sequenced control message is
+    #: retransmitted (0 = fire-and-forget, the pre-chaos behavior).
+    retransmit_timeout_ms: float = 0.0
     #: Array backend for the session's dense structures ("auto" |
     #: "python" | "numpy"); see :mod:`repro.core.backend`.  "auto"
     #: consults ``TELE3D_BACKEND`` and falls back to numpy-if-importable.
@@ -73,6 +86,24 @@ class SessionConfig:
         if self.debounce_ms < 0:
             raise SessionError(
                 f"debounce_ms must be >= 0, got {self.debounce_ms}"
+            )
+        if not 0.0 <= self.control_loss_rate <= 1.0:
+            raise SessionError(
+                f"control_loss_rate must be in [0, 1], got {self.control_loss_rate}"
+            )
+        if self.control_jitter_ms < 0 or self.heartbeat_ms < 0:
+            raise SessionError(
+                "control_jitter_ms and heartbeat_ms must be >= 0, got "
+                f"{self.control_jitter_ms}/{self.heartbeat_ms}"
+            )
+        if self.miss_threshold < 1:
+            raise SessionError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}"
+            )
+        if self.retransmit_timeout_ms < 0:
+            raise SessionError(
+                f"retransmit_timeout_ms must be >= 0, got "
+                f"{self.retransmit_timeout_ms}"
             )
 
 
@@ -105,6 +136,15 @@ class TISession:
     #: resolves its own ``None`` knobs against these.
     control_delay_ms: float = 0.0
     debounce_ms: float = 0.0
+    #: Default chaos/robustness knobs for the event-driven control plane
+    #: (loss + jitter fault model, heartbeat failure detection,
+    #: retransmit-on-timeout); the service resolves ``None`` against
+    #: these the same way it does for delay/debounce.
+    control_loss_rate: float = 0.0
+    control_jitter_ms: float = 0.0
+    heartbeat_ms: float = 0.0
+    miss_threshold: int = 3
+    retransmit_timeout_ms: float = 0.0
     #: Array backend for the dense structures derived from this session.
     backend: str = "auto"
     _cost_matrix: dict[int, dict[int, float]] = field(default_factory=dict, repr=False)
@@ -120,6 +160,19 @@ class TISession:
             raise SessionError(
                 "control_delay_ms and debounce_ms must be >= 0, got "
                 f"{self.control_delay_ms}/{self.debounce_ms}"
+            )
+        if (
+            not 0.0 <= self.control_loss_rate <= 1.0
+            or self.control_jitter_ms < 0
+            or self.heartbeat_ms < 0
+            or self.miss_threshold < 1
+            or self.retransmit_timeout_ms < 0
+        ):
+            raise SessionError(
+                "invalid control-plane fault knobs: loss "
+                f"{self.control_loss_rate}, jitter {self.control_jitter_ms}, "
+                f"heartbeat {self.heartbeat_ms}, miss {self.miss_threshold}, "
+                f"retransmit {self.retransmit_timeout_ms}"
             )
         seen_pops: set[str] = set()
         for expected, site in enumerate(self.sites):
@@ -241,6 +294,11 @@ def build_session(
         problem_assembly=config.problem_assembly,
         control_delay_ms=config.control_delay_ms,
         debounce_ms=config.debounce_ms,
+        control_loss_rate=config.control_loss_rate,
+        control_jitter_ms=config.control_jitter_ms,
+        heartbeat_ms=config.heartbeat_ms,
+        miss_threshold=config.miss_threshold,
+        retransmit_timeout_ms=config.retransmit_timeout_ms,
         backend=config.backend,
     )
 

@@ -8,9 +8,10 @@ more than parallelism for reproduction work.
 
 Besides one-shot scheduling, the engine offers :class:`Timer` — a
 cancellable, optionally recurring handle.  The event-driven control
-plane schedules its debounce windows through it (one-shot form);
-recurrence and cancellation are there for periodic control work such as
-heartbeat probing (a ROADMAP follow-on).
+plane schedules its debounce windows (one-shot form) and its heartbeat
+beats and failure-detector sweeps (recurring form) through it; the
+retransmit machinery leans on cancellation to stop a backoff chain the
+moment its ack lands.
 """
 
 from __future__ import annotations

@@ -2,9 +2,11 @@
 
 Transfers between RPs take the overlay edge cost (one-way shortest-path
 latency) plus optional jitter; an optional loss probability drops
-messages.  Bandwidth admission is *not* modelled here — the overlay
-construction already enforces per-node stream budgets, which is the
-paper's bandwidth abstraction.
+messages, and an optional duplication probability delivers a second
+copy strictly later (the data-plane mirror of the control-link fault
+model in :mod:`repro.pubsub.faults`).  Bandwidth admission is *not*
+modelled here — the overlay construction already enforces per-node
+stream budgets, which is the paper's bandwidth abstraction.
 """
 
 from __future__ import annotations
@@ -28,13 +30,16 @@ class LatencyNetwork:
     rng: RngStream
     jitter_ms: float = 0.0
     loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
     sent: int = field(default=0, init=False)
     delivered: int = field(default=0, init=False)
     dropped: int = field(default=0, init=False)
+    duplicated: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         check_non_negative("jitter_ms", self.jitter_ms)
         check_probability("loss_probability", self.loss_probability)
+        check_probability("duplicate_probability", self.duplicate_probability)
 
     def send(
         self,
@@ -63,3 +68,20 @@ class LatencyNetwork:
             on_delivery(payload, latency)
 
         self.simulator.schedule_in(latency, deliver)
+        if (
+            self.duplicate_probability > 0
+            and self.rng.random() < self.duplicate_probability
+        ):
+            # The copy rides behind the original: same deterministic
+            # latency plus its own jitter, and even at zero jitter the
+            # engine's (time, sequence) order lands it strictly later.
+            copy_latency = latency
+            if self.jitter_ms > 0:
+                copy_latency += self.rng.uniform(0.0, self.jitter_ms)
+            self.duplicated += 1
+
+            def deliver_copy() -> None:
+                self.delivered += 1
+                on_delivery(payload, copy_latency)
+
+            self.simulator.schedule_in(copy_latency, deliver_copy)

@@ -1,0 +1,316 @@
+"""Tests for the control plane's self-healing machinery.
+
+Covers the three reliability mechanisms the fault layer exists to
+exercise — idempotent sequencing, retransmit with capped backoff, and
+heartbeat failure detection — plus the withdraw-vs-heartbeat race the
+dedupe path exists for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.randomized import RandomJoinBuilder
+from repro.pubsub.faults import FaultConfig, PartitionWindow
+from repro.pubsub.messages import Advertise, Subscribe, Withdraw
+from repro.pubsub.service import MembershipService
+from repro.pubsub.system import PubSubSystem
+from repro.sim.engine import Simulator
+from repro.util.rng import RngStream
+
+
+def make_chaos_service(
+    session,
+    faults: FaultConfig | None = None,
+    heartbeat_ms: float = 0.0,
+    miss_threshold: int = 3,
+    retransmit_timeout_ms: float = 0.0,
+    drop_filter=None,
+    control_delay_ms: float = 0.0,
+    debounce_ms: float = 0.0,
+) -> tuple[PubSubSystem, MembershipService, Simulator]:
+    system = PubSubSystem(session=session, builder=RandomJoinBuilder())
+    sim = Simulator()
+    service = system.async_service(
+        sim,
+        RngStream(5, label="reliability-test"),
+        control_delay_ms=control_delay_ms,
+        debounce_ms=debounce_ms,
+        faults=faults or FaultConfig(),
+        chaos_rng=RngStream(9, label="chaos"),
+        heartbeat_ms=heartbeat_ms,
+        miss_threshold=miss_threshold,
+        retransmit_timeout_ms=retransmit_timeout_ms,
+    )
+    if drop_filter is not None:
+        service.link.drop_filter = drop_filter
+    return system, service, sim
+
+
+def announce_all(system: PubSubSystem, service: MembershipService) -> None:
+    for site, rp in sorted(system.rps.items()):
+        service.advertise(rp.advertisement())
+        service.subscribe(rp.aggregate_subscription())
+
+
+class TestSequencing:
+    def test_seq_monotonic_per_site(self, small_session):
+        _, service, _ = make_chaos_service(small_session)
+        first = service.advertise(service.rps[0].advertisement())
+        second = service.subscribe(service.rps[0].aggregate_subscription())
+        other = service.advertise(service.rps[1].advertisement())
+        assert (first.seq, second.seq) == (1, 2)
+        assert other.seq == 1  # independent counter per site
+
+    def test_duplicate_report_discarded(self, small_session):
+        system, service, sim = make_chaos_service(small_session)
+        message = service.advertise(system.rps[0].advertisement())
+        sim.run()
+        applied_before = system.server.registrations_applied
+        rounds_before = len(service.rounds)
+        service._receive(message)  # a duplicate copy arrives
+        sim.run()
+        assert service.duplicates_discarded == 1
+        # No re-apply, and crucially no extra build round was dirtied.
+        assert system.server.registrations_applied == applied_before
+        assert len(service.rounds) == rounds_before
+
+    def test_withdraw_floor_kills_reordered_pre_leave_reports(
+        self, small_session
+    ):
+        system, service, sim = make_chaos_service(small_session)
+        rp = system.rps[2]
+        advertise = Advertise(
+            sent_ms=0.0, epoch=-1, advertisement=rp.advertisement(), seq=1
+        )
+        late_subscribe = Subscribe(
+            sent_ms=0.0,
+            epoch=-1,
+            subscription=rp.aggregate_subscription(),
+            seq=2,
+        )
+        withdraw = Withdraw(sent_ms=0.0, epoch=-1, site=2, seq=3)
+        service._receive(advertise)
+        assert system.server.is_registered(2)
+        service._receive(withdraw)
+        assert not system.server.is_registered(2)
+        # The pre-leave subscription arrives after the withdrawal: it
+        # must not resurrect the departed site.
+        service._receive(late_subscribe)
+        assert service.stale_reports_discarded == 1
+        assert not system.server.is_registered(2)
+
+    def test_unsequenced_envelopes_always_apply(self, small_session):
+        """seq=0 marks hand-built legacy envelopes: no dedup applies."""
+        system, service, _ = make_chaos_service(small_session)
+        rp = system.rps[0]
+        message = Advertise(
+            sent_ms=0.0, epoch=-1, advertisement=rp.advertisement()
+        )
+        assert message.seq == 0
+        service._receive(message)
+        service._receive(message)
+        assert service.duplicates_discarded == 0
+        assert system.server.is_registered(0)
+
+
+class TestWithdrawHeartbeatRace:
+    def test_leave_after_suspicion_does_not_double_withdraw(
+        self, small_session
+    ):
+        """Server already suspected the site; the explicit LEAVE arriving
+        afterwards must not withdraw twice or roll a second epoch."""
+        system, service, sim = make_chaos_service(small_session)
+        announce_all(system, service)
+        sim.run()
+        rounds_before = len(service.rounds)
+        service._suspect(2)  # the failure detector got there first
+        service.withdraw(2)  # ...then the explicit LEAVE lands
+        sim.run()
+        assert service.duplicate_withdraws == 1
+        # Exactly one extra round: the suspicion's, not the LEAVE's.
+        assert len(service.rounds) == rounds_before + 1
+        assert not system.server.is_registered(2)
+
+    def test_suspicion_after_leave_is_a_noop(self, small_session):
+        """The reverse order: the site already left, so the detector
+        sweep finds nothing to suspect."""
+        system, service, sim = make_chaos_service(small_session)
+        announce_all(system, service)
+        service.withdraw(2)
+        sim.run()
+        service._detect()  # a sweep right after the withdrawal applied
+        assert service.detected_failures == 0
+
+    def test_rejoin_clears_the_withdrawn_latch(self, small_session):
+        """A site that left and rejoins is withdrawable again."""
+        system, service, sim = make_chaos_service(small_session)
+        announce_all(system, service)
+        service.withdraw(1)
+        sim.run()
+        service.advertise(system.rps[1].advertisement())
+        sim.run()
+        assert system.server.is_registered(1)
+        service.withdraw(1)
+        sim.run()
+        assert not system.server.is_registered(1)
+        assert service.duplicate_withdraws == 0
+
+
+class TestRetransmission:
+    def test_lost_reports_are_retransmitted(self, small_session):
+        dropped: list[str] = []
+
+        def drop_first_attempt(kind, message, attempt):
+            if kind in ("advertise", "subscribe") and attempt == 0:
+                dropped.append(kind)
+                return True
+            return False
+
+        system, service, sim = make_chaos_service(
+            small_session,
+            retransmit_timeout_ms=20.0,
+            drop_filter=drop_first_attempt,
+        )
+        announce_all(system, service)
+        sim.run()
+        assert len(dropped) == 8  # 4 sites x {advertise, subscribe}
+        assert service.retransmits == 8
+        assert service.retransmit_giveups == 0
+        assert sorted(system.server.registered_sites()) == [0, 1, 2, 3]
+        assert service.rounds and service.rounds[-1].converged
+
+    def test_ack_stops_the_retransmit_loop(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session, retransmit_timeout_ms=20.0
+        )
+        announce_all(system, service)
+        sim.run()
+        # Every report was acked on first delivery: no retransmits, and
+        # no pending state survives the drain.
+        assert service.retransmits == 0
+        assert not service._unacked
+        assert not service._pending_directives
+
+    def test_give_up_bounds_unreachable_destinations(self, small_session):
+        def drop_directives(kind, message, attempt):
+            return kind == "directive"
+
+        system, service, sim = make_chaos_service(
+            small_session,
+            retransmit_timeout_ms=20.0,
+            drop_filter=drop_directives,
+        )
+        announce_all(system, service)
+        sim.run()  # terminating at all proves the backoff chain is capped
+        assert service.retransmit_giveups == 4
+        assert service.retransmits == 4 * service.max_retransmits
+        # The round settled by giving the sites up, not by acks.
+        round_ = service.rounds[-1]
+        assert round_.converged
+        assert round_.acked == {}
+
+    def test_duplicate_directive_copies_are_idempotent(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session,
+            faults=FaultConfig(duplicate_rate=1.0),
+            retransmit_timeout_ms=20.0,
+        )
+        announce_all(system, service)
+        sim.run()
+        assert service.link.duplicated > 0
+        assert service.duplicate_directives > 0
+        # Every site holds the final epoch exactly once.
+        epochs = {rp.epoch for rp in system.rps.values()}
+        assert epochs == {service.rounds[-1].epoch}
+        for round_ in service.rounds:
+            assert round_._install_finished
+
+
+class TestHeartbeatDetection:
+    def test_silent_site_detected_within_bound(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session, heartbeat_ms=10.0, miss_threshold=3
+        )
+        announce_all(system, service)
+        sim.schedule_at(55.0, lambda: service.fail_site(2))
+        sim.run(until_ms=200.0)
+        service.quiesce()
+        sim.run()
+        assert service.detected_failures == 1
+        assert service.false_suspicions == 0
+        assert not system.server.is_registered(2)
+        # Silence-to-withdrawal within miss_threshold beats + one sweep.
+        assert len(service.detection_latencies) == 1
+        assert service.detection_latencies[0] <= 3 * 10.0 + 10.0
+
+    def test_live_sites_never_suspected_on_clean_links(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session, heartbeat_ms=10.0, miss_threshold=3
+        )
+        announce_all(system, service)
+        sim.run(until_ms=300.0)
+        service.quiesce()
+        sim.run()
+        assert service.detected_failures == 0
+        assert sorted(system.server.registered_sites()) == [0, 1, 2, 3]
+        assert service.heartbeats_sent > 0
+
+    def test_fail_site_without_heartbeats_degrades_to_withdraw(
+        self, small_session
+    ):
+        system, service, sim = make_chaos_service(small_session)
+        announce_all(system, service)
+        sim.run()
+        message = service.fail_site(2)
+        sim.run()
+        assert isinstance(message, Withdraw)
+        assert not system.server.is_registered(2)
+
+    def test_fail_site_with_heartbeats_sends_nothing(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session, heartbeat_ms=10.0
+        )
+        announce_all(system, service)
+        sim.run(until_ms=30.0)
+        sent_before = service.link.sent
+        assert service.fail_site(2) is None
+        assert service.link.sent == sent_before  # silence, not a message
+
+    def test_zombie_site_readmitted_after_partition_heals(
+        self, small_session
+    ):
+        """A partitioned site is falsely suspected; once the window
+        heals, its heartbeat provokes a rejoin and it re-admits itself
+        as a fresh join."""
+        system, service, sim = make_chaos_service(
+            small_session,
+            faults=FaultConfig(
+                partitions=(
+                    PartitionWindow(site=1, start_ms=30.0, end_ms=100.0),
+                )
+            ),
+            heartbeat_ms=10.0,
+            miss_threshold=3,
+        )
+        announce_all(system, service)
+        sim.run(until_ms=200.0)
+        service.quiesce()
+        sim.run()
+        assert service.false_suspicions >= 1
+        assert service.rejoin_requests >= 1
+        assert service.readmissions >= 1
+        # The zombie round-trip healed: everyone is registered again.
+        assert sorted(system.server.registered_sites()) == [0, 1, 2, 3]
+        assert service.detection_latencies == []  # no *real* failure
+
+    def test_quiesce_terminates_periodic_work(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session, heartbeat_ms=10.0
+        )
+        announce_all(system, service)
+        sim.run(until_ms=50.0)
+        service.quiesce()
+        sim.run()  # would never return if beats kept rearming
+        assert service._detector is None
+        assert not service._heartbeat_timers

@@ -148,6 +148,33 @@ class TestAsyncRegimes:
         assert "convergence" in summary
 
 
+class TestReliableZeroFaultEquivalence:
+    """Arming retransmission without any link faults must be a no-op:
+    acks flow, but nothing is ever retransmitted and the audited
+    timeline is bit-identical to the plain async path."""
+
+    @pytest.mark.parametrize("algorithm", BUILDERS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_armed_retransmit_transparent_without_faults(
+        self, name, seed, algorithm
+    ):
+        spec = replace(
+            get_scenario(name, sites=SITES, seed=seed),
+            algorithm=algorithm,
+            async_control=True,
+        )
+        clean = ScenarioRuntime(spec)
+        clean.run()
+        armed = ScenarioRuntime(replace(spec, retransmit_timeout_ms=60.0))
+        armed.run()
+        assert clean.directives == armed.directives
+        assert clean.report.audit.digest == armed.report.audit.digest
+        assert armed.report.chaos
+        assert armed.report.retransmits == 0
+        assert armed.report.retransmit_giveups == 0
+
+
 class TestSpecValidation:
     def test_delay_without_async_rejected(self):
         with pytest.raises(ConfigurationError):

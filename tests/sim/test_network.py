@@ -62,3 +62,37 @@ class TestDelivery:
         network, _ = make_network(small_session)
         with pytest.raises(SimulationError):
             network.send(1, 1, None, lambda _p, _l: None)
+
+
+class TestDuplication:
+    def test_certain_duplication_delivers_twice(self, small_session):
+        network, simulator = make_network(
+            small_session, duplicate_probability=1.0
+        )
+        deliveries = []
+        network.send(0, 1, "payload", lambda p, lat: deliveries.append((p, lat)))
+        simulator.run()
+        base = small_session.cost_ms(0, 1)
+        assert deliveries == [("payload", base), ("payload", base)]
+        assert network.duplicated == 1
+        assert network.sent == 1
+        assert network.delivered == 2
+
+    def test_copy_never_precedes_original(self, small_session):
+        network, simulator = make_network(
+            small_session, duplicate_probability=1.0, jitter_ms=5.0
+        )
+        latencies = []
+        for _ in range(20):
+            network.send(0, 1, None, lambda _p, lat: latencies.append(lat))
+        simulator.run()
+        assert len(latencies) == 40
+        # Each copy carries the original latency plus its own jitter, so
+        # it can only trail its original.
+        assert network.duplicated == 20
+
+    def test_bad_probability_rejected(self, small_session):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_network(small_session, duplicate_probability=1.5)

@@ -130,6 +130,39 @@ class TestScenarioParser:
         assert args.control_delay_ms is None
         assert args.debounce_ms is None
 
+    def test_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "flash-crowd", "--loss-rate", "0.2",
+             "--jitter-ms", "8", "--duplicate-rate", "0.05",
+             "--partition", "0:600:1100", "--heartbeat-ms", "40",
+             "--miss-threshold", "3", "--retransmit-timeout-ms", "60",
+             "--max-unrecovered", "0"]
+        )
+        assert args.loss_rate == 0.2
+        assert args.jitter_ms == 8.0
+        assert args.duplicate_rate == 0.05
+        assert args.partition == ["0:600:1100"]
+        assert args.heartbeat_ms == 40.0
+        assert args.miss_threshold == 3
+        assert args.retransmit_timeout_ms == 60.0
+        assert args.max_unrecovered == 0
+
+    def test_chaos_flags_default_none(self):
+        args = build_parser().parse_args(["scenario", "run", "flash-crowd"])
+        assert args.loss_rate is None
+        assert args.heartbeat_ms is None
+        assert args.retransmit_timeout_ms is None
+        assert args.partition is None
+        assert args.max_unrecovered is None
+
+    def test_partition_format_rejected(self):
+        from repro.cli import _parse_partition
+
+        with pytest.raises(SystemExit):
+            _parse_partition("0:600")
+        with pytest.raises(SystemExit):
+            _parse_partition("a:b:c")
+
 
 class TestConvergenceParser:
     def test_defaults(self):
@@ -220,6 +253,42 @@ class TestScenarioCommands:
         assert code == 0
         assert "overlay maintenance [incremental]" in out
         assert "0 violations" in out
+
+
+class TestChaosCommands:
+    def test_list_prints_chaos_family(self, capsys):
+        from repro.cli import main
+        from repro.scenarios import chaos_scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in chaos_scenario_names():
+            assert name in out
+
+    def test_run_chaos_scenario_gated(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["scenario", "run", "lossy-flash-crowd", "--sites", "6",
+             "--seed", "2", "--max-unrecovered", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos:" in out
+        assert "0 violations" in out
+
+    def test_unrecovered_gate_fails_loudly(self, capsys):
+        from repro.cli import main
+
+        # An impossible bound: any run with at least one detection
+        # cannot satisfy max-unrecovered below zero.
+        code = main(
+            ["scenario", "run", "flash-crowd", "--sites", "4", "--seed", "2",
+             "--async-control", "--max-unrecovered", "-1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
 
 
 class TestDisruptionCommand:
