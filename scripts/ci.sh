@@ -65,6 +65,11 @@ if [[ "${1:-}" == "--full" ]]; then
         --audit --strict --max-unrecovered 0
 
     echo
+    echo "== data-chaos gate: 20%-lossy dissemination, NACK/repair recovers all =="
+    python -m repro.cli scenario run lossy-dissemination --sites 8 --seed 7 \
+        --audit --strict --max-unrecovered 0 --max-unrecovered-frames 0
+
+    echo
     echo "== perf smoke (fast plane must beat the event-driven plane) =="
     python -m repro.cli perf smoke --sites 12
 

@@ -18,6 +18,10 @@ and runs audited stress scenarios against the control plane::
     tele3d scenario run lossy-flash-crowd --sites 8 --strict
     tele3d scenario run flash-crowd --loss-rate 0.2 --jitter-ms 8 \\
         --retransmit-timeout-ms 60 --heartbeat-ms 40 --max-unrecovered 0
+    tele3d scenario run lossy-dissemination --sites 8 --strict \\
+        --max-unrecovered-frames 0
+    tele3d scenario run flash-crowd --data-loss-rate 0.2 --data-jitter-ms 5 \\
+        --data-nack --max-unrecovered-frames 0
     tele3d disruption --scenario mixed-churn --sizes 8,16,32
     tele3d convergence --scenario flash-crowd --delays 0,20,50,100
 
@@ -176,6 +180,31 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("--max-unrecovered", type=int, default=None,
                           help="fail (exit 1) if more than this many active "
                                "sites end the run unregistered (chaos gate)")
+    scen_run.add_argument("--data-loss-rate", type=float, default=None,
+                          help="data-plane frame drop probability per hop "
+                               "(routes dissemination to the event plane; "
+                               "does not imply --async-control)")
+    scen_run.add_argument("--data-jitter-ms", type=float, default=None,
+                          help="uniform [0,j] per-hop data-plane delay jitter")
+    scen_run.add_argument("--data-duplicate-rate", type=float, default=None,
+                          help="probability a delivered frame is delivered "
+                               "again (receivers de-duplicate by sequence)")
+    scen_run.add_argument("--data-nack", action="store_true",
+                          help="arm the NACK/repair layer: receivers detect "
+                               "sequence gaps and request retransmission up "
+                               "their dissemination tree")
+    scen_run.add_argument("--data-max-repair-attempts", type=int, default=None,
+                          help="NACK retries per missing frame before "
+                               "giving up (default 3)")
+    scen_run.add_argument("--data-repair-deadline-factor", type=float,
+                          default=None,
+                          help="repair deadline as a multiple of the latency "
+                               "bound, measured from gap detection "
+                               "(default 2.0)")
+    scen_run.add_argument("--max-unrecovered-frames", type=int, default=None,
+                          help="fail (exit 1) if more than this many frame "
+                               "instances end the run unrecovered on the "
+                               "data plane (data-chaos gate)")
     scen_run.add_argument("--backend", default=None, choices=BACKEND_NAMES,
                           help="array backend for the run (python | numpy | "
                                "auto); both are bit-identical, this is a "
@@ -493,10 +522,50 @@ def cmd_scenario(args: argparse.Namespace) -> int:
                 else spec.retransmit_timeout_ms
             ),
         )
+    # Data-plane chaos overrides live on their own simulator, so they do
+    # NOT imply --async-control (unlike the control-chaos block above).
+    if (
+        args.data_loss_rate is not None
+        or args.data_jitter_ms is not None
+        or args.data_duplicate_rate is not None
+        or args.data_nack
+        or args.data_max_repair_attempts is not None
+        or args.data_repair_deadline_factor is not None
+    ):
+        spec = replace(
+            spec,
+            data_loss_rate=(
+                args.data_loss_rate
+                if args.data_loss_rate is not None
+                else spec.data_loss_rate
+            ),
+            data_jitter_ms=(
+                args.data_jitter_ms
+                if args.data_jitter_ms is not None
+                else spec.data_jitter_ms
+            ),
+            data_duplicate_rate=(
+                args.data_duplicate_rate
+                if args.data_duplicate_rate is not None
+                else spec.data_duplicate_rate
+            ),
+            data_nack=args.data_nack or spec.data_nack,
+            data_max_repair_attempts=(
+                args.data_max_repair_attempts
+                if args.data_max_repair_attempts is not None
+                else spec.data_max_repair_attempts
+            ),
+            data_repair_deadline_factor=(
+                args.data_repair_deadline_factor
+                if args.data_repair_deadline_factor is not None
+                else spec.data_repair_deadline_factor
+            ),
+        )
     report = run_scenario(
         spec, audit=args.audit, strict=args.strict, dataplane=args.dataplane
     )
     print(report.summary())
+    failed = False
     if (
         args.max_unrecovered is not None
         and report.unrecovered_suspicions > args.max_unrecovered
@@ -505,6 +574,17 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             f"FAIL: {report.unrecovered_suspicions} unrecovered suspicions "
             f"(allowed {args.max_unrecovered})"
         )
+        failed = True
+    if (
+        args.max_unrecovered_frames is not None
+        and report.dataplane_frames_unrecovered > args.max_unrecovered_frames
+    ):
+        print(
+            f"FAIL: {report.dataplane_frames_unrecovered} unrecovered frame "
+            f"instances (allowed {args.max_unrecovered_frames})"
+        )
+        failed = True
+    if failed:
         return 1
     return 0 if report.ok else 1
 

@@ -165,6 +165,48 @@ class ArrayBackend:
         """Maximum of a non-empty vector."""
         return float(max(values))
 
+    # -- sampled-plane kernels ---------------------------------------------------
+    #
+    # The sampled noisy plane draws per-hop jitter/loss from an
+    # RngStream (never backend-native RNG, so both backends see the
+    # exact same draws) and hands the post-processing to these kernels.
+    # Like the data-plane kernels above, every numpy override is
+    # elementwise float64 arithmetic or an order-preserving selection —
+    # bit-identical to the scalar loops.
+
+    def survivors(self, draws, threshold: float):
+        """Per-draw survival mask: ``draw >= threshold``.
+
+        Matches :class:`~repro.sim.network.LatencyNetwork`'s drop test
+        (``random() < loss_probability`` drops), so a draw strictly
+        below the loss probability is a loss.
+        """
+        return [d >= threshold for d in draws]
+
+    def mask_and(self, a, b):
+        """Elementwise boolean AND of two masks."""
+        return [x and y for x, y in zip(a, b)]
+
+    def add_vec(self, a, b):
+        """Elementwise ``a + b`` of two equal-length vectors."""
+        return [x + y for x, y in zip(a, b)]
+
+    def compress(self, values, mask):
+        """Order-preserving selection of ``values`` where ``mask``."""
+        return [v for v, m in zip(values, mask) if m]
+
+    def count_true(self, mask) -> int:
+        """Number of true entries in a mask."""
+        return sum(1 for m in mask if m)
+
+    def masked_int_sum(self, values, mask) -> int:
+        """Exact integer sum of ``values`` where ``mask``."""
+        return sum(v for v, m in zip(values, mask) if m)
+
+    def to_list(self, values) -> list:
+        """Materialize a backend vector as a plain Python list."""
+        return list(values)
+
     # -- delta patching ----------------------------------------------------------
 
     def apply_count_deltas(
@@ -292,6 +334,30 @@ class NumpyBackend(ArrayBackend):
 
     def vec_max(self, values) -> float:
         return float(values.max())
+
+    # -- sampled-plane kernels ---------------------------------------------------
+
+    def survivors(self, draws, threshold: float):
+        return self._np.asarray(draws, dtype=self._np.float64) >= threshold
+
+    def mask_and(self, a, b):
+        return a & b
+
+    def add_vec(self, a, b):
+        return a + b
+
+    def compress(self, values, mask):
+        return values[mask]
+
+    def count_true(self, mask) -> int:
+        return int(mask.sum())
+
+    def masked_int_sum(self, values, mask) -> int:
+        np = self._np
+        return int(np.asarray(values, dtype=np.int64)[mask].sum())
+
+    def to_list(self, values) -> list:
+        return values.tolist()
 
     # -- delta patching ----------------------------------------------------------
 

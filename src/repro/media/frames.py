@@ -87,6 +87,20 @@ class FrameClock:
         uniform = rng.uniform
         return [max(1, int(mean * uniform(low, high))) for _ in range(count)]
 
+    def capture_times(self, duration_ms: float) -> list[float]:
+        """Capture instants over ``duration_ms``, replicating
+        :class:`~repro.media.source.CameraSource`'s cadence exactly:
+        the repeated float add *is* the schedule the simulator runs, so
+        analytic planes built on these times stay bit-identical to the
+        event-driven plane."""
+        interval = self.interval_ms
+        times: list[float] = []
+        t = 0.0
+        while t <= duration_ms:
+            times.append(t)
+            t += interval
+        return times
+
     def frame(self, sequence: int, capture_time_ms: float, rng: RngStream) -> Frame3D:
         """Materialize the ``sequence``-th frame with jittered size."""
         return Frame3D(

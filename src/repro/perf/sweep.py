@@ -31,7 +31,12 @@ from repro.perf.timing import Stopwatch, Timing, time_call
 from repro.scenarios.spec import EventKind, SchedulePhase, ScenarioSpec
 from repro.session.capacity import UniformCapacityModel
 from repro.session.session import SessionConfig, TISession, build_session
-from repro.sim.dataplane import DataPlaneReport, FastDataPlane, ForestDataPlane
+from repro.sim.dataplane import (
+    DataPlaneReport,
+    FastDataPlane,
+    ForestDataPlane,
+    SampledDataPlane,
+)
 from repro.topology.backbone import load_backbone
 from repro.util.rng import RngStream
 from repro.util.tables import Table
@@ -121,6 +126,11 @@ class PerfCase:
     #: (:data:`DENSE_SUBSCRIBE_PROBABILITY`): trees with ~0.75N members,
     #: the regime the vectorized candidate-scan kernels exist for.
     build_large_tree: Timing | None = None
+    #: Wall-clock time of the sampled-percentile noisy plane over the
+    #: same forest at :data:`LOSSY_LOSS_RATE` / :data:`LOSSY_JITTER_MS`
+    #: — the fast path for noisy sweeps the event plane prices per hop
+    #: per frame.
+    sampled_plane: Timing | None = None
 
     @property
     def speedup(self) -> float | None:
@@ -162,6 +172,9 @@ class PerfCase:
                 self.build_large_tree.to_dict()
                 if self.build_large_tree
                 else None
+            ),
+            "sampled_plane": (
+                self.sampled_plane.to_dict() if self.sampled_plane else None
             ),
             "frames_delivered": self.frames_delivered,
             "reports_identical": self.reports_identical,
@@ -211,6 +224,7 @@ class PerfReport:
                 "conv ms(sim)",
                 "conv-lossy ms(sim)",
                 "dense-build ms",
+                "sampled ms",
                 "identical",
             ],
             title=f"perf sweep [{self.label}]",
@@ -254,6 +268,11 @@ class PerfReport:
                         else "-"
                     ),
                     (
+                        f"{case.sampled_plane.best_ms:.2f}"
+                        if case.sampled_plane
+                        else "-"
+                    ),
+                    (
                         "yes"
                         if case.reports_identical
                         else ("NO" if case.reports_identical is False else "-")
@@ -264,13 +283,25 @@ class PerfReport:
 
 
 def reports_equal(a: DataPlaneReport, b: DataPlaneReport) -> bool:
-    """Field-exact equality of two data-plane reports (floats included)."""
+    """Field-exact equality of two data-plane reports (floats included).
+
+    ``latency_percentiles`` is deliberately *not* compared: it is a
+    presentation field the planes fill on different terms (sampled
+    always, event only on request, fast never), orthogonal to the
+    delivery accounting this check pins.
+    """
     if (
         a.duration_ms != b.duration_ms
         or a.frames_captured != b.frames_captured
         or a.frames_delivered != b.frames_delivered
         or a.latency_bound_ms != b.latency_bound_ms
         or a.bytes_sent_by_site != b.bytes_sent_by_site
+        or a.sends_dropped != b.sends_dropped
+        or a.duplicates_discarded != b.duplicates_discarded
+        or a.nacks_sent != b.nacks_sent
+        or a.repairs_sent != b.repairs_sent
+        or a.frames_recovered != b.frames_recovered
+        or a.frames_unrecovered != b.frames_unrecovered
         or set(a.deliveries) != set(b.deliveries)
     ):
         return False
@@ -458,6 +489,21 @@ def run_perf_case(
         run_fast, repeats=repeats, label=f"fast-plane/N{n_sites}"
     )
 
+    # The sampled-percentile plane, timed under the tracked lossy noise
+    # model — the regime it exists for (the event plane prices the same
+    # run per hop per frame).
+    sampled_timing, _ = time_call(
+        lambda: SampledDataPlane(
+            session,
+            result.forest,
+            rng.spawn("sampled-plane"),
+            jitter_ms=LOSSY_JITTER_MS,
+            loss_probability=LOSSY_LOSS_RATE,
+        ).run(duration_ms),
+        repeats=repeats,
+        label=f"sampled-plane/N{n_sites}",
+    )
+
     event_timing: Timing | None = None
     identical: bool | None = None
     if with_event_plane:
@@ -517,6 +563,7 @@ def run_perf_case(
         control_convergence=convergence_timing,
         control_convergence_lossy=convergence_lossy_timing,
         build_large_tree=dense_timing,
+        sampled_plane=sampled_timing,
     )
 
 
@@ -611,12 +658,16 @@ def compare_reports(old: dict, new: dict) -> str:
 #: series protecting the vectorized candidate-scan kernels (the base
 #: ``build`` series never leaves the small-group python-fallback
 #: regime).
+#: ``sampled_plane`` is the sampled-percentile noisy plane under the
+#: tracked lossy noise model — the series protecting the bulk-draw
+#: convolution path noisy sweeps ride instead of the event heap.
 RATCHET_METRICS = (
     "build",
     "fast_plane",
     "scenario_round_incremental",
     "control_convergence",
     "build_large_tree",
+    "sampled_plane",
 )
 
 #: Default regression threshold: new/old wall-clock ratios above this

@@ -361,7 +361,15 @@ class MembershipService:
         return message
 
     def withdraw(self, site: int) -> Withdraw:
-        """Send a withdrawal (graceful leave or declared failure)."""
+        """Send a withdrawal (graceful leave or declared failure).
+
+        The site's earlier in-flight reports are cancelled first: once
+        it is leaving, retransmitting a stale advertise/subscribe is
+        pure ghost traffic (the server's withdraw floor would discard a
+        late copy anyway).  Only the withdrawal itself stays tracked
+        for reliable delivery.
+        """
+        self._cancel_site_reports(site)
         message = Withdraw(
             sent_ms=self.sim.now,
             epoch=self._site_epoch(site),
@@ -385,11 +393,20 @@ class MembershipService:
             return self.withdraw(site)
         self._site_down(site)
         self._fail_times[site] = self.sim.now
+        self._cancel_site_reports(site)
+        return None
+
+    def _cancel_site_reports(self, site: int) -> None:
+        """Drop every pending retransmit of ``site``'s tracked reports.
+
+        Pops the ``_unacked`` entries *and* cancels their timers as one
+        unit, so a departed (withdrawn or failed) site can never fire a
+        ghost retransmit after its entry is gone.
+        """
         for key in [k for k in self._unacked if k[0] == site]:
             entry = self._unacked.pop(key)
             if entry.timer is not None:
                 entry.timer.cancel()
-        return None
 
     def mark_dirty(self) -> None:
         """Force a build round even without control traffic.
@@ -869,6 +886,16 @@ class MembershipService:
     def live_sites(self) -> set[int]:
         """Sites the service-side transport currently considers alive."""
         return set(self._live)
+
+    @property
+    def armed_retransmit_state(self) -> int:
+        """Sequenced messages still tracked for retransmission.
+
+        Counts unacked reports plus unsettled directive pushes.  After
+        a full drain this must be zero — every entry ends acked,
+        cancelled, or given up; the scenario runtime asserts it.
+        """
+        return len(self._unacked) + len(self._pending_directives)
 
     def converged_rounds(self) -> list[ControlRound]:
         """Rounds whose last ack has arrived."""

@@ -199,6 +199,32 @@ def partitioned_churn(sites: int = 8, seed: int = 7) -> ScenarioSpec:
     )
 
 
+def lossy_dissemination(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Chaos on *both* planes: the lossy join burst, plus 20%-lossy
+    jittered frame dissemination with the NACK/repair layer armed.
+
+    Every per-round dissemination measurement rides the event-driven
+    data plane; receivers must detect their sequence gaps and recover
+    every lost frame through NACK/repair (the CI gate requires zero
+    unrecovered instances).  The repair budget is generous on both
+    axes because the NACK and the repair cross the same 20%-lossy
+    links *and* a parent may have lost its copy too, chaining a whole
+    escalation up the tree before the child can be served: retry round
+    trips on an expensive link approach ``2 * (latency_bound +
+    jitter)`` ≈ 250ms, so the deadline must fit dozens of them
+    (factor 20 ≈ 2.4s) and the attempt cap must not bind first.
+    """
+    return replace(
+        lossy_flash_crowd(sites, seed),
+        name="lossy-dissemination",
+        data_loss_rate=0.2,
+        data_jitter_ms=5.0,
+        data_nack=True,
+        data_max_repair_attempts=30,
+        data_repair_deadline_factor=20.0,
+    )
+
+
 _SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
     "flash-crowd": flash_crowd,
     "mass-leave": mass_leave,
@@ -215,6 +241,7 @@ _CHAOS_SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
     "lossy-flash-crowd": lossy_flash_crowd,
     "heartbeat-rolling-failure": heartbeat_rolling_failure,
     "partitioned-churn": partitioned_churn,
+    "lossy-dissemination": lossy_dissemination,
 }
 
 

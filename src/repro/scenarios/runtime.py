@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.registry import make_builder
+from repro.errors import SimulationError
 from repro.pubsub.faults import FaultConfig
 from repro.pubsub.membership import MembershipServer
 from repro.pubsub.messages import DisplaySubscription, OverlayDirective
@@ -117,6 +118,17 @@ class ScenarioReport:
     #: longer knows — suspicions that never healed.  The chaos CI gate
     #: requires this to be zero.
     unrecovered_suspicions: int = 0
+    #: Data-plane chaos results (all zero unless the spec's ``data_*``
+    #: knobs perturbed the dissemination measurement).
+    data_chaos: bool = False
+    dataplane_sends_dropped: int = 0
+    dataplane_duplicates_discarded: int = 0
+    dataplane_nacks_sent: int = 0
+    dataplane_repairs_sent: int = 0
+    dataplane_frames_recovered: int = 0
+    #: Missing (receiver, frame) instances the NACK/repair layer gave up
+    #: on.  The data-chaos CI gate requires this to be zero.
+    dataplane_frames_unrecovered: int = 0
 
     @property
     def rejection_ratio(self) -> float:
@@ -185,8 +197,8 @@ class ScenarioReport:
                 f"{self.messages_duplicated} duplicated, "
                 f"{self.retransmits} retransmits "
                 f"({self.retransmit_giveups} give-ups), "
-                f"{self.duplicates_discarded + self.stale_reports_discarded} "
-                f"dup/stale reports discarded"
+                f"{self.duplicates_discarded} duplicate / "
+                f"{self.stale_reports_discarded} stale reports discarded"
             )
             lines.append(
                 f"detection: {self.detected_failures} failures detected "
@@ -202,6 +214,15 @@ class ScenarioReport:
                 f"mean {self.dataplane_mean_latency_ms:.1f}ms, "
                 f"max {self.dataplane_max_latency_ms:.1f}ms, "
                 f"{self.dataplane_bound_violations} bound violations"
+            )
+        if self.data_chaos:
+            lines.append(
+                f"data chaos: {self.dataplane_sends_dropped} sends dropped, "
+                f"{self.dataplane_duplicates_discarded} duplicates discarded, "
+                f"{self.dataplane_nacks_sent} NACKs, "
+                f"{self.dataplane_repairs_sent} repairs, "
+                f"{self.dataplane_frames_recovered} frames recovered, "
+                f"{self.dataplane_frames_unrecovered} unrecovered"
             )
         if self.audit is not None:
             lines.append(self.audit.summary())
@@ -221,11 +242,15 @@ class ScenarioRuntime:
         Raise on the first violation instead of accumulating (implies
         ``audit``).
     dataplane:
-        Run the analytic fast data plane over every installed forest
-        and accumulate delivery totals in the report.  The measurement
-        is a sidecar: it never advances the scenario clock, and it uses
-        the :class:`~repro.sim.dataplane.FastDataPlane` (zero
-        jitter/loss), so thousands of audited rounds stay cheap.
+        Run the data plane over every installed forest and accumulate
+        delivery totals in the report.  The measurement is a sidecar:
+        it never advances the scenario clock.  With the spec's
+        ``data_*`` knobs all zero it uses the analytic
+        :class:`~repro.sim.dataplane.FastDataPlane`, so thousands of
+        audited rounds stay cheap; any nonzero data-fault knob
+        auto-enables the sidecar (even when this flag is False) and
+        routes it to the event-driven plane with the spec's NACK/repair
+        configuration.
     dataplane_duration_ms:
         Simulated capture span measured per control round.
     """
@@ -239,7 +264,7 @@ class ScenarioRuntime:
         dataplane_duration_ms: float = 500.0,
     ) -> None:
         self.spec = spec
-        self.dataplane = dataplane
+        self.dataplane = dataplane or spec.data_chaotic
         self.dataplane_duration_ms = dataplane_duration_ms
         self.rng = RngStream(spec.seed, label=f"scenario/{spec.name}")
         self.session = self._build_session(spec)
@@ -323,6 +348,9 @@ class ScenarioRuntime:
                 heartbeat_ms=spec.heartbeat_ms,
                 miss_threshold=spec.miss_threshold,
                 retransmit_timeout_ms=spec.retransmit_timeout_ms,
+                data_loss_rate=spec.data_loss_rate,
+                data_jitter_ms=spec.data_jitter_ms,
+                data_duplicate_rate=spec.data_duplicate_rate,
                 backend=spec.backend,
             ),
         )
@@ -358,6 +386,15 @@ class ScenarioRuntime:
             # convergence.
             self.service.quiesce()
             self.sim.run()
+            # Retransmit-timer hygiene: after a full drain every
+            # sequenced message was acked, cancelled, or given up — a
+            # leftover entry is a ghost timer bug, not load.
+            leftover = self.service.armed_retransmit_state
+            if leftover:
+                raise SimulationError(
+                    f"{leftover} retransmit entr{'y' if leftover == 1 else 'ies'} "
+                    "still armed after the scenario drained"
+                )
         self.report.final_active = len(self.active)
         self.report.repairs = self.server.repairs
         self.report.rebuilds = self.server.rebuilds
@@ -556,11 +593,18 @@ class ScenarioRuntime:
 
     def _measure_dataplane(self, result) -> None:
         """Disseminate one capture span over the just-installed forest."""
+        spec = self.spec
         report = make_dataplane(
             self.session,
             result.forest,
             self.rng.spawn(f"dataplane-{self.server.epoch}"),
-            latency_bound_ms=self.spec.latency_bound_ms,
+            jitter_ms=spec.data_jitter_ms,
+            loss_probability=spec.data_loss_rate,
+            duplicate_probability=spec.data_duplicate_rate,
+            latency_bound_ms=spec.latency_bound_ms,
+            nack_enabled=spec.data_nack,
+            max_repair_attempts=spec.data_max_repair_attempts,
+            repair_deadline_factor=spec.data_repair_deadline_factor,
         ).run(self.dataplane_duration_ms)
         self.report.dataplane_frames_delivered += report.frames_delivered
         self.report.dataplane_total_latency_ms += sum(
@@ -570,6 +614,18 @@ class ScenarioRuntime:
             self.report.dataplane_max_latency_ms, report.max_latency_ms
         )
         self.report.dataplane_bound_violations += report.bound_violations()
+        if spec.data_chaotic:
+            self.report.data_chaos = True
+            self.report.dataplane_sends_dropped += report.sends_dropped
+            self.report.dataplane_duplicates_discarded += (
+                report.duplicates_discarded
+            )
+            self.report.dataplane_nacks_sent += report.nacks_sent
+            self.report.dataplane_repairs_sent += report.repairs_sent
+            self.report.dataplane_frames_recovered += report.frames_recovered
+            self.report.dataplane_frames_unrecovered += (
+                report.frames_unrecovered
+            )
 
 
 def run_scenario(

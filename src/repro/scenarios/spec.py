@@ -134,6 +134,17 @@ class ScenarioSpec:
         Ack timeout arming retransmission with capped exponential
         backoff for reports and directive pushes; 0 keeps the legacy
         fire-and-forget transport.
+    data_loss_rate / data_jitter_ms / data_duplicate_rate:
+        Data-plane fault model for the per-round dissemination
+        measurement (the data mirror of the control knobs above).  Any
+        nonzero knob auto-enables the dissemination sidecar and routes
+        it to the event-driven plane.  Unlike the control knobs these
+        do *not* require ``async_control`` — the data plane runs on its
+        own simulator either way.
+    data_nack / data_max_repair_attempts / data_repair_deadline_factor:
+        Gap-recovery knobs for the dissemination measurement: arm the
+        NACK/repair layer, bound its per-instance retries, and size the
+        repair deadline as a multiple of ``latency_bound_ms``.
     nodes:
         Capacity family, ``uniform`` or ``heterogeneous``.
     capacity_base / capacity_jitter / streams_per_site:
@@ -172,6 +183,12 @@ class ScenarioSpec:
     heartbeat_ms: float = 0.0
     miss_threshold: int = 3
     retransmit_timeout_ms: float = 0.0
+    data_loss_rate: float = 0.0
+    data_jitter_ms: float = 0.0
+    data_duplicate_rate: float = 0.0
+    data_nack: bool = False
+    data_max_repair_attempts: int = 3
+    data_repair_deadline_factor: float = 2.0
     backend: str = "auto"
 
     def __post_init__(self) -> None:
@@ -237,6 +254,26 @@ class ScenarioSpec:
                 "fault/heartbeat/retransmit knobs require async_control=True "
                 "(the synchronous path has no control links to impair)"
             )
+        check_probability("data_loss_rate", self.data_loss_rate)
+        check_non_negative("data_jitter_ms", self.data_jitter_ms)
+        check_probability("data_duplicate_rate", self.data_duplicate_rate)
+        check_non_negative(
+            "data_repair_deadline_factor", self.data_repair_deadline_factor
+        )
+        if self.data_max_repair_attempts < 1:
+            raise ConfigurationError(
+                "data_max_repair_attempts must be >= 1, got "
+                f"{self.data_max_repair_attempts}"
+            )
+
+    @property
+    def data_chaotic(self) -> bool:
+        """True when any data-plane fault knob perturbs dissemination."""
+        return bool(
+            self.data_loss_rate
+            or self.data_jitter_ms
+            or self.data_duplicate_rate
+        )
 
     def compile(self, rng: RngStream) -> list[ScenarioEvent]:
         """Expand the schedule into timed events, sorted by time.
@@ -300,6 +337,17 @@ class ScenarioSpec:
             )
         if self.retransmit_timeout_ms:
             chaos_bits.append(f"rto={self.retransmit_timeout_ms:.0f}ms")
+        if self.data_loss_rate:
+            chaos_bits.append(f"data-loss={self.data_loss_rate:.0%}")
+        if self.data_jitter_ms:
+            chaos_bits.append(f"data-jitter={self.data_jitter_ms:.0f}ms")
+        if self.data_duplicate_rate:
+            chaos_bits.append(f"data-dup={self.data_duplicate_rate:.0%}")
+        if self.data_nack:
+            chaos_bits.append(
+                f"nack(x{self.data_max_repair_attempts},"
+                f"{self.data_repair_deadline_factor:g}*bound)"
+            )
         chaos = f" chaos({','.join(chaos_bits)})" if chaos_bits else ""
         return (
             f"{self.name}: pool={self.n_sites} start={self.initial_active} "

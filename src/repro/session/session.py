@@ -61,6 +61,12 @@ class SessionConfig:
     #: Default ack timeout before a sequenced control message is
     #: retransmitted (0 = fire-and-forget, the pre-chaos behavior).
     retransmit_timeout_ms: float = 0.0
+    #: Default data-plane fault model for frame dissemination over this
+    #: session's overlay forest (the data mirror of the control knobs
+    #: above; 0/0/0 = the deterministic paper setting).
+    data_loss_rate: float = 0.0
+    data_jitter_ms: float = 0.0
+    data_duplicate_rate: float = 0.0
     #: Array backend for the session's dense structures ("auto" |
     #: "python" | "numpy"); see :mod:`repro.core.backend`.  "auto"
     #: consults ``TELE3D_BACKEND`` and falls back to numpy-if-importable.
@@ -105,6 +111,16 @@ class SessionConfig:
                 f"retransmit_timeout_ms must be >= 0, got "
                 f"{self.retransmit_timeout_ms}"
             )
+        if (
+            not 0.0 <= self.data_loss_rate <= 1.0
+            or not 0.0 <= self.data_duplicate_rate <= 1.0
+            or self.data_jitter_ms < 0
+        ):
+            raise SessionError(
+                "invalid data-plane fault knobs: loss "
+                f"{self.data_loss_rate}, jitter {self.data_jitter_ms}, "
+                f"duplicate {self.data_duplicate_rate}"
+            )
 
 
 @dataclass
@@ -145,6 +161,12 @@ class TISession:
     heartbeat_ms: float = 0.0
     miss_threshold: int = 3
     retransmit_timeout_ms: float = 0.0
+    #: Default data-plane fault model for dissemination over this
+    #: session's forests; :func:`~repro.sim.dataplane.make_dataplane`
+    #: callers resolve their own ``None`` knobs against these.
+    data_loss_rate: float = 0.0
+    data_jitter_ms: float = 0.0
+    data_duplicate_rate: float = 0.0
     #: Array backend for the dense structures derived from this session.
     backend: str = "auto"
     _cost_matrix: dict[int, dict[int, float]] = field(default_factory=dict, repr=False)
@@ -173,6 +195,16 @@ class TISession:
                 f"{self.control_loss_rate}, jitter {self.control_jitter_ms}, "
                 f"heartbeat {self.heartbeat_ms}, miss {self.miss_threshold}, "
                 f"retransmit {self.retransmit_timeout_ms}"
+            )
+        if (
+            not 0.0 <= self.data_loss_rate <= 1.0
+            or not 0.0 <= self.data_duplicate_rate <= 1.0
+            or self.data_jitter_ms < 0
+        ):
+            raise SessionError(
+                "invalid data-plane fault knobs: loss "
+                f"{self.data_loss_rate}, jitter {self.data_jitter_ms}, "
+                f"duplicate {self.data_duplicate_rate}"
             )
         seen_pops: set[str] = set()
         for expected, site in enumerate(self.sites):
@@ -299,6 +331,9 @@ def build_session(
         heartbeat_ms=config.heartbeat_ms,
         miss_threshold=config.miss_threshold,
         retransmit_timeout_ms=config.retransmit_timeout_ms,
+        data_loss_rate=config.data_loss_rate,
+        data_jitter_ms=config.data_jitter_ms,
+        data_duplicate_rate=config.data_duplicate_rate,
         backend=config.backend,
     )
 

@@ -10,20 +10,29 @@ below ``B_cost`` — the report cross-checks exactly that.
 Two implementations share the :class:`DataPlaneReport` contract:
 
 * :class:`ForestDataPlane` — the event-driven simulator: every hop of
-  every frame is a scheduled callback.  Required whenever jitter or
-  loss perturb deliveries.
+  every frame is a scheduled callback.  Required whenever jitter, loss
+  or duplication perturb deliveries, and the only plane that models the
+  NACK/repair recovery layer (receivers detect sequence gaps, NACK up
+  their tree parent, repairs cascade back down the affected subtree).
 * :class:`FastDataPlane` — the analytic batched plane: with zero
   jitter/loss the run is fully determined by the capture schedule and
   the per-tree hop costs, so the report is computed with per-tree
   array arithmetic (frames x hop costs) and **no** simulator events.
   It reproduces the event-driven report bit for bit, including the
   floating-point accumulation order.
+* :class:`SampledDataPlane` — the sampled-percentile noisy plane:
+  per-hop jitter/loss drawn in bulk and convolved along tree paths, so
+  noisy sweeps report latency percentiles without the event heap.  It
+  models the same noise *distribution* as the event plane (the event
+  plane stays the oracle) and degrades to the exact
+  :class:`FastDataPlane` arithmetic at zero noise.
 
 :func:`make_dataplane` dispatches between them automatically.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.forest import OverlayForest
@@ -32,9 +41,32 @@ from repro.media.frames import Frame3D, FrameClock
 from repro.media.source import CameraSource
 from repro.session.session import TISession
 from repro.session.streams import StreamId
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, Timer
 from repro.sim.network import LatencyNetwork
 from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative, check_probability
+
+#: Percentiles every latency distribution is summarized at.
+LATENCY_QUANTILES = (50, 90, 99)
+
+
+def latency_percentiles(
+    latencies: list[float], quantiles: tuple[int, ...] = LATENCY_QUANTILES
+) -> dict[int, float]:
+    """Nearest-rank percentiles of a latency sample.
+
+    Nearest-rank (``sorted[ceil(q/100 * n) - 1]``) rather than an
+    interpolating estimator: the result is always an observed sample,
+    identical across array backends, and has no float blending to
+    drift.  Empty input yields an empty dict.
+    """
+    if not latencies:
+        return {}
+    ordered = sorted(latencies)
+    n = len(ordered)
+    return {
+        q: ordered[max(1, math.ceil(q / 100.0 * n)) - 1] for q in quantiles
+    }
 
 
 @dataclass
@@ -69,6 +101,24 @@ class DataPlaneReport:
     deliveries: dict[tuple[StreamId, int], DeliveryStats]
     bytes_sent_by_site: dict[int, int]
     latency_bound_ms: float
+    # -- data-chaos outcome counters (all zero on deterministic runs,
+    #    so zero-noise reports stay field-identical across planes) ----
+    #: Network messages dropped by the loss model (frames + NACKs + repairs).
+    sends_dropped: int = 0
+    #: Arrivals discarded as already-seen (duplication + repair-cascade overlap).
+    duplicates_discarded: int = 0
+    #: Gap-repair requests sent up tree parents (includes retries).
+    nacks_sent: int = 0
+    #: Buffered frames retransmitted in answer to a NACK.
+    repairs_sent: int = 0
+    #: Missing (receiver, frame) instances recovered via NACK/repair.
+    frames_recovered: int = 0
+    #: Missing instances abandoned (retries or repair deadline exhausted).
+    frames_unrecovered: int = 0
+    #: Nearest-rank delivery-latency percentiles (``{50: ..., 90: ...,
+    #: 99: ...}``); filled by the sampled plane always, by the event
+    #: plane on request, empty otherwise.
+    latency_percentiles: dict[int, float] = field(default_factory=dict)
 
     @property
     def mean_latency_ms(self) -> float:
@@ -103,8 +153,43 @@ class DataPlaneReport:
         }
 
 
+@dataclass(frozen=True)
+class _NackRequest:
+    """A receiver's gap-repair request, sent up its tree parent."""
+
+    stream_id: StreamId
+    sequence: int
+    requester: int
+
+
+@dataclass
+class _PendingRepair:
+    """One missing (stream, site, sequence) instance under repair."""
+
+    attempts: int
+    deadline_ms: float
+    timer: Timer | None = None
+
+
 class ForestDataPlane:
-    """Runs the media data plane over a built forest (event-driven)."""
+    """Runs the media data plane over a built forest (event-driven).
+
+    With ``nack_enabled`` the plane layers gap recovery on top of the
+    lossy dissemination: every node buffers the frames it holds, a
+    receiver that observes a sequence gap NACKs its tree parent, the
+    parent retransmits from its buffer (or escalates its own repair
+    upward when its copy was lost too), and the repaired frame cascades
+    back down the subtree through the ordinary relay path — receivers
+    that already hold it discard the duplicate.  Each missing instance
+    is retried on a per-link round-trip timer, bounded by
+    ``max_repair_attempts`` NACKs and a repair deadline of
+    ``repair_deadline_factor * latency_bound_ms`` from loss detection;
+    exhausting either gives the instance up as unrecovered.  A tail
+    audit after the last capture catches losses no later frame could
+    reveal.  At zero noise none of this machinery draws RNG or sends
+    messages, so NACK-armed deterministic runs stay bit-identical to
+    :class:`FastDataPlane`.
+    """
 
     #: Dispatch tag (see :func:`make_dataplane`).
     kind = "event"
@@ -117,13 +202,27 @@ class ForestDataPlane:
         fps: float = 15.0,
         jitter_ms: float = 0.0,
         loss_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
         latency_bound_ms: float = 120.0,
+        nack_enabled: bool = False,
+        max_repair_attempts: int = 3,
+        repair_deadline_factor: float = 2.0,
+        collect_percentiles: bool = False,
     ) -> None:
+        if max_repair_attempts < 1:
+            raise SimulationError(
+                f"max_repair_attempts must be >= 1, got {max_repair_attempts}"
+            )
+        check_non_negative("repair_deadline_factor", repair_deadline_factor)
         self.session = session
         self.forest = forest
         self.rng = rng
         self.fps = fps
         self.latency_bound_ms = latency_bound_ms
+        self.nack_enabled = nack_enabled
+        self.max_repair_attempts = max_repair_attempts
+        self.repair_deadline_factor = repair_deadline_factor
+        self.collect_percentiles = collect_percentiles
         self.simulator = Simulator()
         self.network = LatencyNetwork(
             session=session,
@@ -131,6 +230,7 @@ class ForestDataPlane:
             rng=rng.spawn("network"),
             jitter_ms=jitter_ms,
             loss_probability=loss_probability,
+            duplicate_probability=duplicate_probability,
         )
         self._deliveries: dict[tuple[StreamId, int], DeliveryStats] = {}
         self._bytes_sent: dict[int, int] = {
@@ -138,13 +238,34 @@ class ForestDataPlane:
         }
         self._captured = 0
         self._delivered = 0
+        # NACK/repair state: per-(stream, site) received sequences and
+        # frame buffers, and the in-flight repairs keyed by instance.
+        self._received: dict[tuple[StreamId, int], set[int]] = {}
+        self._buffers: dict[tuple[StreamId, int], dict[int, Frame3D]] = {}
+        self._highest: dict[tuple[StreamId, int], int] = {}
+        self._pending: dict[tuple[StreamId, int, int], _PendingRepair] = {}
+        self._latencies: list[float] = []
+        self.duplicates_discarded = 0
+        self.nacks_sent = 0
+        self.repairs_sent = 0
+        self.frames_recovered = 0
+        self.frames_unrecovered = 0
 
     def run(self, duration_ms: float = 2000.0) -> DataPlaneReport:
         """Simulate ``duration_ms`` of capture and dissemination."""
         sources = self._make_sources(duration_ms)
         for source in sources:
             source.start(self.simulator.schedule_at)
-        # Drain fully: frames captured near the end still need to land.
+        if self.nack_enabled:
+            # Sweep for undetectable tail losses once every original
+            # delivery has had time to land (path costs stay below the
+            # bound; the factor absorbs accumulated jitter).
+            self.simulator.schedule_at(
+                duration_ms + self.repair_deadline_factor * self.latency_bound_ms,
+                self._tail_audit,
+            )
+        # Drain fully: frames captured near the end still need to land,
+        # and every pending repair resolves (recovered or given up).
         self.simulator.run()
         return DataPlaneReport(
             duration_ms=duration_ms,
@@ -153,6 +274,17 @@ class ForestDataPlane:
             deliveries=dict(self._deliveries),
             bytes_sent_by_site=dict(self._bytes_sent),
             latency_bound_ms=self.latency_bound_ms,
+            sends_dropped=self.network.dropped,
+            duplicates_discarded=self.duplicates_discarded,
+            nacks_sent=self.nacks_sent,
+            repairs_sent=self.repairs_sent,
+            frames_recovered=self.frames_recovered,
+            frames_unrecovered=self.frames_unrecovered,
+            latency_percentiles=(
+                latency_percentiles(self._latencies)
+                if self.collect_percentiles
+                else {}
+            ),
         )
 
     # -- internals ---------------------------------------------------------------
@@ -180,6 +312,11 @@ class ForestDataPlane:
 
     def _on_capture(self, frame: Frame3D) -> None:
         self._captured += 1
+        if self.nack_enabled:
+            source = frame.stream_id.site
+            self._buffers.setdefault((frame.stream_id, source), {})[
+                frame.sequence
+            ] = frame
         self._relay(frame.stream_id.site, frame)
 
     def _relay(self, at_site: int, frame: Frame3D) -> None:
@@ -197,12 +334,150 @@ class ForestDataPlane:
             )
 
     def _on_arrival(self, at_site: int, frame: Frame3D) -> None:
-        latency = self.simulator.now - frame.capture_time_ms
         key = (frame.stream_id, at_site)
+        seen = self._received.setdefault(key, set())
+        if frame.sequence in seen:
+            # Network duplication, or a repair overlapping the cascade
+            # (the subtree relay re-delivers to receivers that already
+            # hold the frame).  Discard without re-recording/re-relaying.
+            self.duplicates_discarded += 1
+            return
+        seen.add(frame.sequence)
+        if self.nack_enabled:
+            self._buffers.setdefault(key, {})[frame.sequence] = frame
+            pending = self._pending.pop(
+                (frame.stream_id, at_site, frame.sequence), None
+            )
+            if pending is not None:
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                self.frames_recovered += 1
+            self._detect_gaps(at_site, frame)
+        latency = self.simulator.now - frame.capture_time_ms
         stats = self._deliveries.setdefault(key, DeliveryStats())
         stats.record(latency)
+        if self.collect_percentiles:
+            self._latencies.append(latency)
         self._delivered += 1
         self._relay(at_site, frame)
+
+    # -- NACK/repair state machine -------------------------------------------
+
+    def _detect_gaps(self, at_site: int, frame: Frame3D) -> None:
+        """Start repairs for sequences skipped below ``frame``."""
+        key = (frame.stream_id, at_site)
+        highest = self._highest.get(key, -1)
+        if frame.sequence > highest:
+            received = self._received[key]
+            for missing in range(highest + 1, frame.sequence):
+                if missing not in received:
+                    self._start_repair(frame.stream_id, at_site, missing)
+            self._highest[key] = frame.sequence
+
+    def _start_repair(
+        self, stream_id: StreamId, site: int, sequence: int
+    ) -> None:
+        """Open a repair for one missing instance (no-op if in flight).
+
+        The repair deadline runs from *detection* (now), not capture:
+        a tail-audit detection long after capture still gets its full
+        ``repair_deadline_factor * latency_bound_ms`` window.
+        """
+        pending_key = (stream_id, site, sequence)
+        if pending_key in self._pending:
+            return
+        if self.forest.trees[stream_id].parent(site) is None:
+            raise SimulationError(
+                f"source site {site} missing its own frame "
+                f"{stream_id}#{sequence}"
+            )
+        deadline = (
+            self.simulator.now
+            + self.repair_deadline_factor * self.latency_bound_ms
+        )
+        pending = _PendingRepair(attempts=0, deadline_ms=deadline)
+        self._pending[pending_key] = pending
+        self._send_nack(pending_key, pending)
+
+    def _send_nack(
+        self,
+        pending_key: tuple[StreamId, int, int],
+        pending: _PendingRepair,
+    ) -> None:
+        stream_id, site, sequence = pending_key
+        parent = self.forest.trees[stream_id].parent(site)
+        pending.attempts += 1
+        self.nacks_sent += 1
+        self.network.send(
+            site,
+            parent,
+            _NackRequest(stream_id=stream_id, sequence=sequence, requester=site),
+            lambda payload, _latency: self._on_nack(parent, payload),
+        )
+        pending.timer = self.simulator.schedule_timer(
+            self._nack_retry_ms(parent, site),
+            lambda: self._retry_repair(pending_key),
+        )
+
+    def _nack_retry_ms(self, parent: int, site: int) -> float:
+        # One NACK/repair round trip plus worst-case jitter both ways,
+        # floored so zero-cost links still get a positive timeout.
+        rtt = 2.0 * (self.session.cost_ms(parent, site) + self.network.jitter_ms)
+        return max(rtt, 1.0)
+
+    def _retry_repair(self, pending_key: tuple[StreamId, int, int]) -> None:
+        pending = self._pending.get(pending_key)
+        if pending is None:
+            return  # repaired before the timer fired
+        if (
+            pending.attempts >= self.max_repair_attempts
+            or self.simulator.now > pending.deadline_ms
+        ):
+            del self._pending[pending_key]
+            self.frames_unrecovered += 1
+            return
+        self._send_nack(pending_key, pending)
+
+    def _on_nack(self, at_site: int, nack: _NackRequest) -> None:
+        frame = self._buffers.get((nack.stream_id, at_site), {}).get(
+            nack.sequence
+        )
+        if frame is not None:
+            self.repairs_sent += 1
+            self._bytes_sent[at_site] += frame.size_bytes
+            self.network.send(
+                at_site,
+                nack.requester,
+                frame,
+                lambda payload, _latency: self._on_arrival(
+                    nack.requester, payload
+                ),
+            )
+            return
+        # This site lost its copy too (possibly still undetected):
+        # escalate a repair of its own.  When the repaired frame lands
+        # here it relays to every child, so the requester is served by
+        # the cascade.
+        self._start_repair(nack.stream_id, at_site, nack.sequence)
+
+    def _tail_audit(self) -> None:
+        """Sweep for losses no later frame could reveal.
+
+        A frame dropped after the stream's last delivered sequence
+        leaves no gap at the receiver, and a receiver that lost *every*
+        frame never sees one; walk the captured sequences (the source
+        buffer) against each receiver's received set and open repairs
+        for anything still missing.
+        """
+        for stream_id, tree in self.forest.trees.items():
+            expected = self._buffers.get((stream_id, tree.source))
+            if not expected:
+                continue
+            for site in tree.receivers():
+                seen = self._received.get((stream_id, site), set())
+                for sequence in expected:
+                    if sequence not in seen:
+                        self._start_repair(stream_id, site, sequence)
 
 
 class FastDataPlane:
@@ -276,14 +551,7 @@ class FastDataPlane:
                 fps=self.fps,
             )
             camera_rng = self.rng.spawn(f"camera-{stream_id}")
-            # Replicate CameraSource's capture cadence exactly: the
-            # repeated float add is the schedule the simulator ran.
-            interval = clock.interval_ms
-            times: list[float] = []
-            t = 0.0
-            while t <= duration_ms:
-                times.append(t)
-                t += interval
+            times = clock.capture_times(duration_ms)
             n_frames = len(times)
             kern = backend.plane_kernels(n_frames)
             stream_bytes = int(sum(clock.sample_sizes(camera_rng, n_frames)))
@@ -319,6 +587,160 @@ class FastDataPlane:
         )
 
 
+class SampledDataPlane:
+    """Sampled-percentile noisy plane: bulk draws convolved along paths.
+
+    The event-driven plane is the oracle for noisy runs but pays a heap
+    event per hop per frame.  This plane exploits the same structure the
+    :class:`FastDataPlane` does — a frame's delivery time at node ``v``
+    is the source capture time plus the per-hop terms along the tree
+    path — except the per-hop terms are now random: arrival vectors
+    accumulate ``hop_cost + Uniform(0, jitter)`` down the tree, and a
+    survival mask ANDs per-hop ``Uniform(0, 1) >= loss`` draws so a
+    frame dropped at a hop is dead for the whole subtree below it
+    (exactly the event plane's loss correlation).
+
+    All randomness comes from the :class:`~repro.util.rng.RngStream`
+    (never backend-native RNG), so reports are bit-identical across
+    array backends; the backend kernels only vectorize the arithmetic.
+    The draws are *differently ordered* than the event plane's, so
+    noisy reports agree with the oracle in distribution — percentiles
+    within tolerance, pinned by test — not bit-for-bit.  At zero noise
+    no draws happen and the arithmetic collapses to the fast plane's,
+    reproducing its report exactly (minus the percentiles, which this
+    plane always fills).
+
+    Duplication and NACK/repair are not modelled here — those runs need
+    the event plane (:func:`make_dataplane` enforces this).
+    """
+
+    #: Dispatch tag (see :func:`make_dataplane`).
+    kind = "sampled"
+
+    def __init__(
+        self,
+        session: TISession,
+        forest: OverlayForest,
+        rng: RngStream,
+        fps: float = 15.0,
+        jitter_ms: float = 0.0,
+        loss_probability: float = 0.0,
+        latency_bound_ms: float = 120.0,
+    ) -> None:
+        check_non_negative("jitter_ms", jitter_ms)
+        check_probability("loss_probability", loss_probability)
+        self.session = session
+        self.forest = forest
+        self.rng = rng
+        self.fps = fps
+        self.jitter_ms = jitter_ms
+        self.loss_probability = loss_probability
+        self.latency_bound_ms = latency_bound_ms
+
+    def run(self, duration_ms: float = 2000.0) -> DataPlaneReport:
+        """Sample ``duration_ms`` of noisy capture and dissemination."""
+        deliveries: dict[tuple[StreamId, int], DeliveryStats] = {}
+        bytes_sent: dict[int, int] = {
+            site.index: 0 for site in self.session.sites
+        }
+        captured = 0
+        delivered = 0
+        dropped = 0
+        all_latencies: list[float] = []
+        cost_ms = self.session.cost_ms
+        backend = self.session.array_backend
+        jitter = self.jitter_ms
+        loss = self.loss_probability
+        noise_rng = self.rng.spawn("network")
+        for stream_id, tree in self.forest.trees.items():
+            if not tree.receivers():
+                continue  # nobody subscribed; camera stays local
+            descriptor = self.session.registry.describe(stream_id)
+            clock = FrameClock(
+                stream_id=stream_id,
+                bandwidth_mbps=descriptor.bandwidth_mbps,
+                fps=self.fps,
+            )
+            camera_rng = self.rng.spawn(f"camera-{stream_id}")
+            times = clock.capture_times(duration_ms)
+            n_frames = len(times)
+            kern = backend.plane_kernels(n_frames)
+            sizes = clock.sample_sizes(camera_rng, n_frames)
+            stream_bytes = int(sum(sizes))
+            captured += n_frames
+            source = tree.source
+            times_v = kern.as_vector(times)
+            arrivals: dict[int, object] = {source: times_v}
+            # Survival masks down each path; None means "all alive"
+            # (the zero-loss case never materializes a mask, keeping
+            # the arithmetic identical to FastDataPlane's).
+            alive: dict[int, object] = {source: None}
+            parent_of = tree.parent
+            for node in tree.path_costs():
+                if node == source:
+                    continue
+                parent = parent_of(node)
+                hop = cost_ms(parent, node)
+                # Per-hop draw order mirrors LatencyNetwork.send: the
+                # loss draw first, then the jitter draw.
+                node_alive = alive[parent]
+                if loss > 0.0:
+                    survive = kern.survivors(
+                        noise_rng.uniforms(0.0, 1.0, n_frames), loss
+                    )
+                    node_alive = (
+                        survive
+                        if node_alive is None
+                        else kern.mask_and(node_alive, survive)
+                    )
+                node_arrivals = kern.shift(arrivals[parent], hop)
+                if jitter > 0.0:
+                    node_arrivals = kern.add_vec(
+                        node_arrivals,
+                        kern.as_vector(
+                            noise_rng.uniforms(0.0, jitter, n_frames)
+                        ),
+                    )
+                arrivals[node] = node_arrivals
+                alive[node] = node_alive
+                parent_alive = alive[parent]
+                if parent_alive is None:
+                    bytes_sent[parent] += stream_bytes
+                else:
+                    bytes_sent[parent] += kern.masked_int_sum(
+                        sizes, parent_alive
+                    )
+                latencies = kern.deltas(node_arrivals, times_v)
+                if node_alive is None:
+                    n_delivered = n_frames
+                else:
+                    latencies = kern.compress(latencies, node_alive)
+                    n_delivered = kern.count_true(node_alive)
+                stats = DeliveryStats()
+                stats.frames = n_delivered
+                if n_delivered:
+                    stats.total_latency_ms = kern.seq_sum(latencies)
+                    stats.max_latency_ms = max(0.0, kern.vec_max(latencies))
+                    all_latencies.extend(kern.to_list(latencies))
+                deliveries[(stream_id, node)] = stats
+                delivered += n_delivered
+                dropped += n_frames - n_delivered
+        return DataPlaneReport(
+            duration_ms=duration_ms,
+            frames_captured=captured,
+            frames_delivered=delivered,
+            deliveries=deliveries,
+            bytes_sent_by_site=bytes_sent,
+            latency_bound_ms=self.latency_bound_ms,
+            sends_dropped=dropped,
+            latency_percentiles=latency_percentiles(all_latencies),
+        )
+
+
+#: Accepted values for :func:`make_dataplane`'s ``plane`` knob.
+PLANE_NAMES = ("auto", "fast", "event", "sampled")
+
+
 def make_dataplane(
     session: TISession,
     forest: OverlayForest,
@@ -326,28 +748,75 @@ def make_dataplane(
     fps: float = 15.0,
     jitter_ms: float = 0.0,
     loss_probability: float = 0.0,
+    duplicate_probability: float = 0.0,
     latency_bound_ms: float = 120.0,
-) -> "FastDataPlane | ForestDataPlane":
+    nack_enabled: bool = False,
+    max_repair_attempts: int = 3,
+    repair_deadline_factor: float = 2.0,
+    plane: str = "auto",
+) -> "FastDataPlane | ForestDataPlane | SampledDataPlane":
     """Pick the right data plane for the run's noise model.
 
-    Deterministic runs (zero jitter *and* zero loss — the paper's
-    evaluation setting) get the analytic :class:`FastDataPlane`; any
-    stochastic perturbation routes to the event-driven
-    :class:`ForestDataPlane`.  Both produce identical reports on the
-    deterministic setting, so callers never need to care which they got
-    (check ``plane.kind`` when they do).
+    Deterministic runs (zero jitter, loss *and* duplication — the
+    paper's evaluation setting) get the analytic :class:`FastDataPlane`;
+    any stochastic perturbation routes to the event-driven
+    :class:`ForestDataPlane`, which also carries the NACK/repair layer.
+    Both produce identical reports on the deterministic setting, so
+    callers never need to care which they got (check ``plane.kind``
+    when they do).  ``plane="sampled"`` opts a noisy run into the
+    :class:`SampledDataPlane` instead — percentile-accurate against the
+    event oracle, but with no duplication or repair model, so it
+    refuses those knobs.
     """
-    plane_cls = (
-        FastDataPlane
-        if jitter_ms == 0.0 and loss_probability == 0.0
-        else ForestDataPlane
+    if plane not in PLANE_NAMES:
+        raise SimulationError(
+            f"unknown data plane {plane!r}; expected one of {PLANE_NAMES}"
+        )
+    if plane == "sampled":
+        if duplicate_probability != 0.0 or nack_enabled:
+            raise SimulationError(
+                "the sampled plane models neither duplication nor "
+                "NACK/repair; use plane='event' (or 'auto')"
+            )
+        return SampledDataPlane(
+            session=session,
+            forest=forest,
+            rng=rng,
+            fps=fps,
+            jitter_ms=jitter_ms,
+            loss_probability=loss_probability,
+            latency_bound_ms=latency_bound_ms,
+        )
+    deterministic = (
+        jitter_ms == 0.0
+        and loss_probability == 0.0
+        and duplicate_probability == 0.0
     )
-    return plane_cls(
+    if plane == "fast" or (plane == "auto" and deterministic):
+        if duplicate_probability != 0.0:
+            raise SimulationError(
+                "FastDataPlane is exact only for zero duplication; "
+                f"got duplicate_probability={duplicate_probability}"
+            )
+        return FastDataPlane(
+            session=session,
+            forest=forest,
+            rng=rng,
+            fps=fps,
+            jitter_ms=jitter_ms,
+            loss_probability=loss_probability,
+            latency_bound_ms=latency_bound_ms,
+        )
+    return ForestDataPlane(
         session=session,
         forest=forest,
         rng=rng,
         fps=fps,
         jitter_ms=jitter_ms,
         loss_probability=loss_probability,
+        duplicate_probability=duplicate_probability,
         latency_bound_ms=latency_bound_ms,
+        nack_enabled=nack_enabled,
+        max_repair_attempts=max_repair_attempts,
+        repair_deadline_factor=repair_deadline_factor,
     )

@@ -31,6 +31,10 @@ class LatencyNetwork:
     jitter_ms: float = 0.0
     loss_probability: float = 0.0
     duplicate_probability: float = 0.0
+    #: Deterministic drop hook for tests: ``drop_filter(src, dst,
+    #: payload) -> True`` drops the message *before* any RNG draw, so
+    #: installing one never perturbs the seeded loss/jitter sequence.
+    drop_filter: Callable[[int, int, object], bool] | None = None
     sent: int = field(default=0, init=False)
     delivered: int = field(default=0, init=False)
     dropped: int = field(default=0, init=False)
@@ -56,6 +60,9 @@ class LatencyNetwork:
         if src == dst:
             raise SimulationError(f"site {src} sending to itself")
         self.sent += 1
+        if self.drop_filter is not None and self.drop_filter(src, dst, payload):
+            self.dropped += 1
+            return
         if self.loss_probability > 0 and self.rng.random() < self.loss_probability:
             self.dropped += 1
             return

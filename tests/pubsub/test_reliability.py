@@ -203,12 +203,117 @@ class TestRetransmission:
         )
         announce_all(system, service)
         sim.run()  # terminating at all proves the backoff chain is capped
+        # Exactly one give-up per unreachable destination — never more.
         assert service.retransmit_giveups == 4
         assert service.retransmits == 4 * service.max_retransmits
         # The round settled by giving the sites up, not by acks.
         round_ = service.rounds[-1]
         assert round_.converged
         assert round_.acked == {}
+        # ...and the give-ups disarmed everything: no pending entry or
+        # timer survives the drain.
+        assert service.armed_retransmit_state == 0
+
+    def test_unreachable_report_destination_gives_up_once(
+        self, small_session
+    ):
+        """The report direction of the same bound: the server never acks
+        one site's reports, so each report retries to the cap, settles,
+        and is counted given-up exactly once."""
+
+        def drop_site2_acks(kind, message, attempt):
+            return kind == "control-ack" and message.site == 2
+
+        system, service, sim = make_chaos_service(
+            small_session,
+            retransmit_timeout_ms=20.0,
+            drop_filter=drop_site2_acks,
+        )
+        announce_all(system, service)
+        sim.run()
+        # advertise + subscribe from site 2, nothing else.
+        assert service.retransmit_giveups == 2
+        assert service.retransmits == 2 * service.max_retransmits
+        assert service.armed_retransmit_state == 0
+        # The reports themselves arrived (only the acks died), so the
+        # membership is intact and the round converged.
+        assert sorted(system.server.registered_sites()) == [0, 1, 2, 3]
+        assert service.rounds[-1].converged
+
+
+class TestRetransmitTimerHygiene:
+    """A departed site's pending report must never fire a ghost
+    retransmit after its ``_unacked`` entry is gone."""
+
+    def drop_site2_report_acks(self, kind, message, attempt):
+        return (
+            kind == "control-ack"
+            and message.site == 2
+            and message.kind in ("advertise", "subscribe")
+        )
+
+    def test_withdraw_cancels_pending_report_timers(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session,
+            retransmit_timeout_ms=20.0,
+            drop_filter=self.drop_site2_report_acks,
+        )
+        announce_all(system, service)
+        # The site leaves while its unacked reports' timers are armed
+        # (the first retransmit would fire at ~20ms).
+        sim.schedule_at(5.0, lambda: service.withdraw(2))
+        sim.run()
+        # No ghost: the withdrawal cancelled both pending reports before
+        # their timers could fire a single retransmit.
+        assert service.retransmits == 0
+        assert service.retransmit_giveups == 0
+        assert service.armed_retransmit_state == 0
+        assert not system.server.is_registered(2)
+
+    def test_fail_site_cancels_pending_report_timers(self, small_session):
+        system, service, sim = make_chaos_service(
+            small_session,
+            retransmit_timeout_ms=20.0,
+            drop_filter=self.drop_site2_report_acks,
+        )
+        announce_all(system, service)
+        sim.schedule_at(5.0, lambda: service.fail_site(2))
+        sim.run()
+        assert service.retransmits == 0
+        assert service.retransmit_giveups == 0
+        assert service.armed_retransmit_state == 0
+        assert not system.server.is_registered(2)
+
+    def test_withdraws_own_report_stays_reliable(self, small_session):
+        """Cancelling the departing site's pending reports must not eat
+        the withdraw's *own* reliable delivery."""
+        dropped = []
+
+        def drop_first_withdraw_ack(kind, message, attempt):
+            if (
+                kind == "control-ack"
+                and message.kind == "withdraw"
+                and not dropped
+            ):
+                dropped.append(message)
+                return True
+            return False
+
+        system, service, sim = make_chaos_service(
+            small_session,
+            retransmit_timeout_ms=20.0,
+            drop_filter=drop_first_withdraw_ack,
+        )
+        announce_all(system, service)
+        sim.run()
+        service.withdraw(2)
+        sim.run()
+        # The lost ack forced exactly one retransmit of the withdraw —
+        # its tracking survived the site's own cleanup.
+        assert dropped
+        assert service.retransmits == 1
+        assert service.armed_retransmit_state == 0
+        assert not system.server.is_registered(2)
 
     def test_duplicate_directive_copies_are_idempotent(self, small_session):
         system, service, sim = make_chaos_service(

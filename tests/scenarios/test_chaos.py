@@ -16,6 +16,7 @@ Three pillars:
 
 from __future__ import annotations
 
+import re
 from dataclasses import replace
 
 import pytest
@@ -39,6 +40,7 @@ class TestRegistry:
     def test_chaos_family_names(self):
         assert chaos_scenario_names() == [
             "heartbeat-rolling-failure",
+            "lossy-dissemination",
             "lossy-flash-crowd",
             "partitioned-churn",
         ]
@@ -148,6 +150,48 @@ class TestHeartbeatScenarios:
         ).report.summary()
         assert "chaos:" in summary
         assert "detection:" in summary
+        # Duplicates and stale reports are distinct failure modes and
+        # must be reported as two numbers, never one conflated sum.
+        assert re.search(
+            r"\d+ duplicate / \d+ stale reports discarded", summary
+        )
+
+
+class TestDataChaos:
+    def test_lossy_dissemination_recovers_everything(self):
+        report = run_runtime(
+            get_scenario("lossy-dissemination", sites=8, seed=7)
+        ).report
+        assert report.data_chaos
+        assert report.dataplane_sends_dropped > 0
+        assert report.dataplane_nacks_sent > 0
+        assert report.dataplane_repairs_sent > 0
+        assert report.dataplane_frames_recovered > 0
+        assert report.dataplane_frames_unrecovered == 0
+        summary = report.summary()
+        assert "data chaos:" in summary
+        assert "0 unrecovered" in summary
+
+    def test_data_knobs_do_not_require_async_control(self):
+        """Control chaos needs the event-driven service; data chaos
+        rides the dissemination sidecar's own simulator and must stay
+        legal on a synchronous-control spec."""
+        spec = replace(
+            get_scenario("flash-crowd", sites=5, seed=7),
+            data_loss_rate=0.1,
+            data_jitter_ms=2.0,
+        )
+        assert not spec.async_control
+        assert spec.data_chaotic
+
+    def test_data_chaos_auto_enables_the_dataplane_sidecar(self):
+        spec = replace(
+            get_scenario("flash-crowd", sites=5, seed=7), data_loss_rate=0.1
+        )
+        report = ScenarioRuntime(spec, audit=False).run()
+        assert report.data_chaos
+        assert report.dataplane_frames_delivered > 0
+        assert report.dataplane_sends_dropped > 0
 
 
 class TestTransparency:

@@ -290,6 +290,36 @@ class TestChaosCommands:
         assert code == 1
         assert "FAIL" in out
 
+    def test_data_chaos_flags_run_the_nack_plane(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["scenario", "run", "flash-crowd", "--sites", "5", "--seed", "3",
+             "--data-loss-rate", "0.2", "--data-jitter-ms", "5",
+             "--data-nack", "--data-max-repair-attempts", "30",
+             "--data-repair-deadline-factor", "20"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "data chaos:" in out
+        assert "0 violations" in out
+        # Crucially the data knobs did NOT drag in the async control
+        # plane (no control chaos, no convergence line).
+        assert "async control" not in out
+
+    def test_unrecovered_frames_gate_fails_loudly(self, capsys):
+        from repro.cli import main
+
+        # Same impossible-bound trick for the data-plane gate.
+        code = main(
+            ["scenario", "run", "flash-crowd", "--sites", "4", "--seed", "2",
+             "--max-unrecovered-frames", "-1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+        assert "unrecovered frame" in out
+
 
 class TestDisruptionCommand:
     def test_sweep_prints_policy_series(self, capsys):
