@@ -90,8 +90,10 @@ if [[ "${1:-}" == "--full" ]]; then
         CI_BENCH=$(mktemp /tmp/tele3d_bench_ci.XXXXXX.json)
         trap 'rm -f "${CI_BENCH}"' EXIT
         # Scenario timings stay on so the ratcheted
-        # scenario-round(incremental) series is present on both sides.
-        python -m repro.cli perf sweep --sizes 16,32 --label CI \
+        # scenario-round(incremental|hybrid) series are present on both
+        # sides; N=1024 rides along so the headline O(churn) round
+        # latency is gated, not just the small sizes.
+        python -m repro.cli perf sweep --sizes 16,32,1024 --label CI \
             --output "${CI_BENCH}" --no-event-plane
         python -m repro.cli perf compare "${BASELINE}" "${CI_BENCH}" --ratchet
     fi

@@ -27,7 +27,6 @@ auto (numpy when importable, python otherwise).
 from __future__ import annotations
 
 import os
-from operator import itemgetter as _itemgetter
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.errors import ConfigurationError
@@ -93,9 +92,11 @@ class ArrayBackend:
 
     #: Minimum tree size before ``try_join`` routes the parent scan
     #: through :meth:`parent_scan` instead of the inline scalar loop.
-    #: Vectorized scans lose below ~128 members (the members/degree
-    #: gathers from the authoritative python-list state dominate), so
-    #: the python backend never dispatches and numpy gates at 128.
+    #: With the write-through array mirrors (``_TreeArrays`` /
+    #: ``_StateArrays``) the vectorized scan does no per-scan gathers
+    #: from python state and wins from ~30 members (measured crossover
+    #: ~29), so the python backend never dispatches and numpy gates
+    #: at 32.
     vector_scan_min: float = float("inf")
 
     # -- bulk state queries ------------------------------------------------------
@@ -224,6 +225,88 @@ class ArrayBackend:
 PythonBackend = ArrayBackend
 
 
+class _TreeArrays:
+    """Attach-ordered ndarray mirror of one tree's scan inputs.
+
+    ``members[:size]`` and ``from_source[:size]`` hold the tree's member
+    ids and source-to-member path costs in exactly the iteration order of
+    ``MulticastTree.path_costs()`` (source first, then attach order; a
+    detach shifts the tail left, matching dict deletion).  The tree
+    write-throughs on :meth:`MulticastTree.attach` /
+    :meth:`MulticastTree.detach_leaf` keep the mirror current, so the
+    vectorized parent scan never re-gathers the member list per scan —
+    the per-scan cost drops from O(members) python-loop gathers to pure
+    fancy indexing.
+
+    Capacity doubles on append (amortized O(1)); costs are stored as the
+    exact float64 the attach computed, so the mirror is bit-identical to
+    the dict it shadows.
+    """
+
+    __slots__ = ("_np", "members", "from_source", "size")
+
+    def __init__(self, np_mod, tree: "MulticastTree") -> None:
+        self._np = np_mod
+        costs = tree.path_costs()
+        n = len(costs)
+        cap = max(16, 2 * n)
+        self.members = np_mod.empty(cap, dtype=np_mod.intp)
+        self.from_source = np_mod.empty(cap, dtype=np_mod.float64)
+        self.members[:n] = np_mod.fromiter(costs.keys(), dtype=np_mod.intp, count=n)
+        self.from_source[:n] = np_mod.fromiter(
+            costs.values(), dtype=np_mod.float64, count=n
+        )
+        self.size = n
+
+    def append(self, node: int, cost_from_source: float) -> None:
+        n = self.size
+        if n == len(self.members):
+            self._grow()
+        self.members[n] = node
+        self.from_source[n] = cost_from_source
+        self.size = n + 1
+
+    def _grow(self) -> None:
+        np_mod = self._np
+        cap = 2 * len(self.members)
+        members = np_mod.empty(cap, dtype=np_mod.intp)
+        from_source = np_mod.empty(cap, dtype=np_mod.float64)
+        n = self.size
+        members[:n] = self.members[:n]
+        from_source[:n] = self.from_source[:n]
+        self.members = members
+        self.from_source = from_source
+
+    def remove(self, node: int) -> None:
+        n = self.size
+        members = self.members
+        idx = int(self._np.nonzero(members[:n] == node)[0][0])
+        members[idx : n - 1] = members[idx + 1 : n]
+        self.from_source[idx : n - 1] = self.from_source[idx + 1 : n]
+        self.size = n - 1
+
+
+class _StateArrays:
+    """Full-length int64 mirrors of a builder state's degree tables.
+
+    Construction snapshots ``state.dout`` / ``state.m_hat`` and installs
+    the arrays as those lists' write-through mirrors (the lists are
+    ``_MirroredCounts``), so every subsequent write — the builder choke
+    points and direct test pokes alike — updates both.  The parent scan
+    then reads ``dout[members]`` / ``m_hat[members]`` as single
+    fancy-index gathers instead of a python loop over the authoritative
+    lists.
+    """
+
+    __slots__ = ("dout", "m_hat")
+
+    def __init__(self, np_mod, state: "BuilderState") -> None:
+        self.dout = np_mod.asarray(state.dout, dtype=np_mod.int64)
+        self.m_hat = np_mod.asarray(state.m_hat, dtype=np_mod.int64)
+        state.dout.mirror = self.dout
+        state.m_hat.mirror = self.m_hat
+
+
 class NumpyBackend(ArrayBackend):
     """numpy bulk kernels, pinned bit-identical to the reference.
 
@@ -232,7 +315,7 @@ class NumpyBackend(ArrayBackend):
     """
 
     name = "numpy"
-    vector_scan_min = 128
+    vector_scan_min = 32
     plane_vector_min = 64
 
     #: Below this many pairs, the scalar patch loop beats ``np.add.at``.
@@ -264,25 +347,36 @@ class NumpyBackend(ArrayBackend):
             )
         return arr
 
-    def _gather_int(self, values: list, keys: list):
-        """``[values[k] for k in keys]`` as an int64 array, at C speed."""
-        np = self._np
-        if len(keys) == 1:
-            return np.asarray([values[keys[0]]], dtype=np.int64)
-        return np.asarray(_itemgetter(*keys)(values), dtype=np.int64)
+    def tree_arrays(self, tree) -> _TreeArrays:
+        """The attach-ordered member/cost mirror of ``tree`` (lazy).
+
+        Created (one O(members) backfill) on a tree's first vectorized
+        scan; the tree's mutation choke points write through afterwards.
+        """
+        arrays = tree._arrays
+        if arrays is None:
+            arrays = tree._arrays = _TreeArrays(self._np, tree)
+        return arrays
+
+    def state_arrays(self, state) -> _StateArrays:
+        """The int64 degree-table mirror of ``state`` (lazy)."""
+        arrays = state._arrays
+        if arrays is None:
+            arrays = state._arrays = _StateArrays(self._np, state)
+        return arrays
 
     def parent_scan(self, problem, state, tree, subscriber, policy):
         from repro.core.node_join import ParentPolicy
 
         np = self._np
-        path_costs = tree.path_costs()
-        mlist = list(path_costs)
-        n = len(mlist)
-        members = np.asarray(mlist, dtype=np.intp)
-        from_source = np.fromiter(path_costs.values(), dtype=np.float64, count=n)
+        arrays = self.tree_arrays(tree)
+        n = arrays.size
+        members = arrays.members[:n]
+        from_source = arrays.from_source[:n]
+        st = self.state_arrays(state)
         col = problem.dense_cost_matrix().column_array(subscriber)
         limits = self.limits_array(problem.outbound)[members]
-        degrees = self._gather_int(state.dout, mlist)
+        degrees = st.dout[members]
         path_cost = from_source + col[members]
         eligible = (degrees < limits) & (path_cost < problem.latency_bound_ms)
         if policy is ParentPolicy.FIRST_FIT:
@@ -297,7 +391,7 @@ class NumpyBackend(ArrayBackend):
         # *without* entering the rfc competition, and any member with
         # rfc > 0 (strict) takes over.  argmax is first-occurrence, which
         # matches the strict-> scan in attach order.
-        reservations = self._gather_int(state.m_hat, mlist)
+        reservations = st.m_hat[members]
         rfc = limits - degrees - reservations
         source = tree.source
         fallback = None

@@ -225,6 +225,16 @@ class RepairReport:
         """Requests the repair actually had to (re-)join."""
         return self.orphaned + self.fresh_joined + self.fresh_rejected
 
+    def touched_fraction(self, total_requests: int) -> float:
+        """``touched`` as a fraction of the round's request volume.
+
+        This is the per-round increment of the scratch-free hybrid's
+        drift estimate: every request the repair had to place greedily
+        on top of the stale forest is a potential deviation from the
+        from-scratch optimum.
+        """
+        return self.touched / total_requests if total_requests > 0 else 0.0
+
 
 @dataclass
 class IncrementalRepairer:
@@ -249,6 +259,25 @@ class IncrementalRepairer:
 
     policy: ParentPolicy = field(default=ParentPolicy.MAX_RFC)
     use_swap: bool = False
+    #: Accumulated drift estimate since the last from-scratch anchor:
+    #: the sum of each repair's touched fraction.  The scratch-free
+    #: hybrid policy compares this against its drift budget to decide
+    #: when a verification re-solve is due; it re-anchors via
+    #: :meth:`reset_drift` whenever a scratch solution is computed.
+    _drift_estimate: float = field(default=0.0, init=False, repr=False)
+
+    @property
+    def drift_estimate(self) -> float:
+        """Estimated cost drift accumulated since the last anchor."""
+        return self._drift_estimate
+
+    def reset_drift(self, value: float = 0.0) -> None:
+        """Re-anchor the drift estimate (after a scratch solve).
+
+        ``value`` lets a verification that *kept* the repair re-anchor
+        on the drift it actually measured instead of zero.
+        """
+        self._drift_estimate = value
 
     def repair(
         self, previous: BuildResult, problem: ForestProblem
@@ -343,7 +372,7 @@ class IncrementalRepairer:
             for request in handled
             if request in prev_satisfied and request not in satisfied_now
         )
-        return RepairReport(
+        report = RepairReport(
             result=result,
             feasible=lost == 0,
             carried=carried,
@@ -354,6 +383,8 @@ class IncrementalRepairer:
             fresh_rejected=fresh_rejected,
             dropped_trees=dropped_trees,
         )
+        self._drift_estimate += report.touched_fraction(problem.total_requests())
+        return report
 
     @staticmethod
     def _edge_fits(

@@ -614,8 +614,30 @@ class ForestProblem:
                 groups.append(old)
             else:
                 groups.append(MulticastGroup(stream=stream, subscribers=members))
-        delta = ProblemDelta.between(prev.groups, groups)
+        return cls.evolve_delta(prev, ProblemDelta.between(prev.groups, groups))
 
+    @classmethod
+    def evolve_delta(
+        cls,
+        prev: "ForestProblem",
+        delta: ProblemDelta,
+    ) -> "ForestProblem":
+        """Diffed assembly from a caller-supplied group delta.
+
+        The O(churn) counterpart of :meth:`evolve`: instead of walking a
+        freshly-assembled workload to discover what changed, the caller
+        hands over the :class:`ProblemDelta` directly (the membership
+        server derives it from its dirty-tracked registrations).  The
+        group list is merged from ``prev.groups`` and the delta with
+        pointer work only — an empty delta shares every derived table
+        with ``prev`` untouched.
+
+        The delta is **caller-trusted** to be consistent with ``prev``:
+        ``added`` streams must not already have a group, ``removed`` /
+        ``changed`` old groups must be the previous round's objects for
+        their streams.  Only node-id ranges of the incoming groups are
+        validated (exactly what :meth:`evolve` validates).
+        """
         problem = cls.__new__(cls)
         problem.n_nodes = prev.n_nodes
         problem.cost = prev.cost
@@ -624,7 +646,6 @@ class ForestProblem:
         # it — so round-t tweaks can never leak into round t-1.
         problem.inbound = prev.inbound.cow_view()
         problem.outbound = prev.outbound.cow_view()
-        problem.groups = groups
         problem.latency_bound_ms = prev.latency_bound_ms
         problem.backend = prev.backend
         problem._backend = prev._backend
@@ -632,6 +653,7 @@ class ForestProblem:
         problem._requests_cache = None
         problem._streams_by_source = None
         if delta.empty:
+            problem.groups = list(prev.groups)
             problem._u = prev._u
             problem._m_table = prev._m_table
             return problem
@@ -639,6 +661,19 @@ class ForestProblem:
             problem._check_group(group)
         for _old, group in delta.changed:
             problem._check_group(group)
+        removed_streams = {group.stream for group in delta.removed}
+        changed_by = {old.stream: new for old, new in delta.changed}
+        groups = [
+            changed_by.get(group.stream, group)
+            for group in prev.groups
+            if group.stream not in removed_streams
+        ]
+        if delta.added:
+            # Both halves are stream-sorted, so this is a near-sorted
+            # merge — Timsort handles it in O(groups).
+            groups.extend(delta.added)
+            groups.sort(key=lambda g: g.stream)
+        problem.groups = groups
         problem._u = cls._patch_u(prev._u, delta)
         m_table = list(prev._m_table)
         prev._backend.apply_count_deltas(

@@ -21,6 +21,29 @@ from repro.core.problem import ForestProblem
 from repro.session.streams import StreamId
 
 
+class _MirroredCounts(list):
+    """A flat counts list that writes through to an optional array mirror.
+
+    Reads stay C-speed list indexing (``__getitem__`` is not overridden,
+    so the scalar parent-scan probes pay nothing); only ``__setitem__``
+    carries the extra branch.  A vectorizing backend boxes its int64
+    ndarray twin into :attr:`mirror`, after which *every* write — the
+    builder choke points and direct test pokes alike — lands in both, so
+    the mirror can never go stale.
+    """
+
+    __slots__ = ("mirror",)
+
+    def __init__(self, values) -> None:
+        super().__init__(values)
+        self.mirror = None
+
+    def __setitem__(self, index, value) -> None:
+        list.__setitem__(self, index, value)
+        if self.mirror is not None:
+            self.mirror[index] = value
+
+
 class BuilderState:
     """Cross-tree degree and reservation accounting for one build.
 
@@ -45,15 +68,21 @@ class BuilderState:
         # indexing, not a hash lookup.
         n = problem.n_nodes
         self.din: list[int] = [0] * n
-        self.dout: list[int] = [0] * n
+        # dout and m_hat feed the vectorized parent scan, so they carry
+        # an optional write-through ndarray mirror (attached lazily by
+        # the numpy backend; see ``backend._StateArrays``).
+        self.dout: list[int] = _MirroredCounts([0] * n)
         # m_i is the static paper quantity (streams of i subscribed by
         # >= 1 other RP), precomputed per problem; m̂_i only grows as
         # groups are opened.
         self.m: list[int] = list(problem.m_table())
-        self.m_hat: list[int] = [0] * n
+        self.m_hat: list[int] = _MirroredCounts([0] * n)
         self._in_limits = problem.inbound_limits()
         self._out_limits = problem.outbound_limits()
         self._opened: set[StreamId] = set()
+        #: Backend-owned ``backend._StateArrays`` cache; ``None`` until a
+        #: vectorized parent scan first needs it.
+        self._arrays = None
 
     # -- reservation scope ---------------------------------------------------------
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, SubscriptionError
 from repro.core.base import BuildResult, OverlayBuilder
 from repro.core.correlation import CorrelatedRandomJoinBuilder
 from repro.core.incremental import (
@@ -43,12 +43,18 @@ from repro.core.incremental import (
     overlay_cost,
     validate_rebuild_policy,
 )
-from repro.core.problem import ForestProblem
+from repro.core.model import MulticastGroup
+from repro.core.problem import ForestProblem, ProblemDelta
 from repro.pubsub.messages import Advertisement, OverlayDirective, SiteSubscription
 from repro.session.session import TISession
 from repro.session.streams import StreamId
 from repro.util.rng import RngStream
-from repro.util.validation import check_assembly_policy, check_non_negative
+from repro.util.validation import (
+    check_assembly_policy,
+    check_delta_source,
+    check_drift_mode,
+    check_non_negative,
+)
 from repro.workload.spec import SubscriptionWorkload
 
 
@@ -67,8 +73,31 @@ class MembershipServer:
     #: Hybrid-mode quality budget: the repaired forest may cost at most
     #: ``(1 + drift_budget)`` times the scratch solution of the round.
     drift_budget: float = DEFAULT_DRIFT_BUDGET
+    #: Where diffed assembly gets its per-round group delta ("dirty" |
+    #: "scan"); ``None`` adopts the session's default.  ``dirty``
+    #: derives it from the dirty-tracked registration indices in
+    #: O(churn); ``scan`` re-walks the global workload (the equivalence
+    #: baseline).
+    delta_source: str | None = None
+    #: How hybrid measures drift ("estimate" | "measure"); ``None``
+    #: adopts the session's default.  ``measure`` solves from scratch
+    #: every round (the original guard); ``estimate`` stays scratch-free
+    #: until the accumulated repair-delta estimate crosses the budget or
+    #: the repair carries rejections, then verifies with a real scratch
+    #: solve.
+    drift_mode: str | None = None
     _advertised: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
     _subscriptions: dict[int, tuple[StreamId, ...]] = field(default_factory=dict)
+    #: Advertiser count per stream — a stream is *available* (its groups
+    #: may exist) while the count is positive.
+    _available: dict[StreamId, int] = field(default_factory=dict)
+    #: Inverted subscription index: stream -> subscribing sites.
+    _subscribers_by_stream: dict[StreamId, set[int]] = field(default_factory=dict)
+    #: Streams whose effective group may differ from the last assembled
+    #: problem's — the only streams dirty-delta derivation looks at.
+    _dirty_streams: set[StreamId] = field(default_factory=set)
+    #: Stream -> group of the last assembled problem (the diff base).
+    _group_index: dict[StreamId, MulticastGroup] = field(default_factory=dict)
     _epoch: int = 0
     _last_problem: ForestProblem | None = None
     _last_result: BuildResult | None = None
@@ -82,6 +111,7 @@ class MembershipServer:
     _last_mode: str | None = None
     _registrations_applied: int = 0
     _registrations_skipped: int = 0
+    _verifications: int = 0
 
     def __post_init__(self) -> None:
         if self.rebuild_policy is None:
@@ -90,6 +120,12 @@ class MembershipServer:
         if self.problem_assembly is None:
             self.problem_assembly = self.session.problem_assembly
         check_assembly_policy(self.problem_assembly)
+        if self.delta_source is None:
+            self.delta_source = self.session.delta_source
+        check_delta_source(self.delta_source)
+        if self.drift_mode is None:
+            self.drift_mode = self.session.drift_mode
+        check_drift_mode(self.drift_mode)
         check_non_negative("drift_budget", self.drift_budget)
         # Repair joins mirror the configured builder: same parent
         # policy, and the CO-RJ victim swap only when the builder itself
@@ -119,7 +155,9 @@ class MembershipServer:
                 raise ProtocolError(
                     f"site {advertisement.site} advertises unknown stream {stream}"
                 )
+        before = self._advertised.get(advertisement.site, ())
         self._advertised[advertisement.site] = advertisement.streams
+        self._index_advertised(set(before), set(advertisement.streams))
         self._registrations_applied += 1
         return True
 
@@ -133,7 +171,24 @@ class MembershipServer:
         if self._subscriptions.get(subscription.site) == subscription.streams:
             self._registrations_skipped += 1
             return False
+        # Validate the payload up front (the same rules the workload
+        # constructor enforces) so the dirty-delta assembly path — which
+        # never materializes a workload — admits only well-formed state.
+        for stream in subscription.streams:
+            if stream.site == subscription.site:
+                raise SubscriptionError(
+                    f"site {subscription.site} subscribes to its own "
+                    f"stream {stream}"
+                )
+            if not 0 <= stream.site < self.session.n_sites:
+                raise SubscriptionError(
+                    f"stream {stream} originates outside the session"
+                )
+        before = self._subscriptions.get(subscription.site, ())
         self._subscriptions[subscription.site] = subscription.streams
+        self._index_subscribed(
+            subscription.site, set(before), set(subscription.streams)
+        )
         self._registrations_applied += 1
         return True
 
@@ -146,8 +201,42 @@ class MembershipServer:
         nothing.  Idempotent.
         """
         self._check_site(site)
-        self._advertised.pop(site, None)
-        self._subscriptions.pop(site, None)
+        advertised = self._advertised.pop(site, None)
+        if advertised:
+            self._index_advertised(set(advertised), set())
+        subscribed = self._subscriptions.pop(site, None)
+        if subscribed:
+            self._index_subscribed(site, set(subscribed), set())
+
+    def _index_advertised(
+        self, before: set[StreamId], after: set[StreamId]
+    ) -> None:
+        """Track stream availability across an advertisement change."""
+        for stream in before - after:
+            count = self._available.get(stream, 0) - 1
+            if count > 0:
+                self._available[stream] = count
+            else:
+                self._available.pop(stream, None)
+            self._dirty_streams.add(stream)
+        for stream in after - before:
+            self._available[stream] = self._available.get(stream, 0) + 1
+            self._dirty_streams.add(stream)
+
+    def _index_subscribed(
+        self, site: int, before: set[StreamId], after: set[StreamId]
+    ) -> None:
+        """Track per-stream subscriber sets across a subscription change."""
+        for stream in before - after:
+            members = self._subscribers_by_stream.get(stream)
+            if members is not None:
+                members.discard(site)
+                if not members:
+                    del self._subscribers_by_stream[stream]
+            self._dirty_streams.add(stream)
+        for stream in after - before:
+            self._subscribers_by_stream.setdefault(stream, set()).add(site)
+            self._dirty_streams.add(stream)
 
     def _check_site(self, site: int) -> None:
         if not 0 <= site < self.session.n_sites:
@@ -197,8 +286,7 @@ class MembershipServer:
         configured ``problem_assembly`` whether the round's problem is
         evolved from the previous one or re-derived from the session.
         """
-        workload = self.global_workload()
-        problem = self._assemble_problem(workload)
+        problem = self._assemble_problem()
         previous = self._last_result
         result: BuildResult | None = None
         mode = "rebuild"
@@ -207,14 +295,14 @@ class MembershipServer:
             if self.rebuild_policy == "incremental":
                 if repair.feasible:
                     result, mode = repair.result, "repair"
-            else:  # hybrid: quality-guard the repair against scratch
-                scratch = self.builder.build(problem, rng.spawn("scratch"))
-                if repair.feasible and self._within_budget(repair.result, scratch):
-                    result, mode = repair.result, "repair"
-                else:
-                    result = scratch
+            else:
+                result, mode = self._guard_hybrid(repair, problem, rng)
         if result is None:
             result = self.builder.build(problem, rng)
+        if mode == "rebuild":
+            # Any scratch-anchored round resets the drift estimate: the
+            # adopted forest *is* the from-scratch solution.
+            self._repairer.reset_drift()
         if mode == "repair":
             self._repairs += 1
         else:
@@ -244,7 +332,7 @@ class MembershipServer:
             )
         return OverlayDirective(epoch=self._epoch, edges=edges, rejected=rejected)
 
-    def _assemble_problem(self, workload: SubscriptionWorkload) -> ForestProblem:
+    def _assemble_problem(self) -> ForestProblem:
         """Assemble the round's problem: evolve the previous one or start over.
 
         ``auto`` resolves to diffed assembly exactly when the rebuild
@@ -252,23 +340,122 @@ class MembershipServer:
         per-round O(N²) scratch assembly it specifies, while repair
         rounds skip it.  The first round (no previous problem) is always
         scratch.
+
+        Diffed assembly reads its group delta per ``delta_source``:
+        ``dirty`` consumes the dirty-tracked registration indices —
+        O(churned streams), the global workload is never materialized —
+        while ``scan`` re-walks the workload's groups like PR 5 did.
+        Both are digest-pinned bit-identical.
         """
         mode = self.problem_assembly
         if mode == "auto":
             mode = "scratch" if self.rebuild_policy == "always" else "diffed"
         previous = self._last_problem
         if mode == "diffed" and previous is not None:
-            problem = ForestProblem.evolve(previous, workload)
+            if self.delta_source == "dirty":
+                delta = self._consume_dirty_delta()
+                problem = ForestProblem.evolve_delta(previous, delta)
+                self._patch_group_index(delta)
+            else:
+                problem = ForestProblem.evolve(previous, self.global_workload())
+                self._reset_group_index(problem)
             self._assemblies_diffed += 1
             self._last_assembly = "diffed"
         else:
             problem = ForestProblem.from_workload(
-                self.session, workload, self.latency_bound_ms
+                self.session, self.global_workload(), self.latency_bound_ms
             )
+            self._reset_group_index(problem)
             self._assemblies_scratch += 1
             self._last_assembly = "scratch"
         self._last_problem = problem
         return problem
+
+    def _consume_dirty_delta(self) -> ProblemDelta:
+        """Derive the round's group delta from the dirty stream set.
+
+        For each dirty stream the *effective* group (its subscriber set,
+        provided the stream is still advertised and requested by anyone)
+        is compared against the last assembled problem's group; streams
+        that ended up unchanged — withdraw-then-resubscribe races,
+        re-registrations of identical payloads routed through different
+        tuples — drop out.  Iteration is stream-sorted so the delta's
+        category ordering matches :meth:`ProblemDelta.between` on the
+        scan-derived group lists.
+        """
+        added: list[MulticastGroup] = []
+        removed: list[MulticastGroup] = []
+        changed: list[tuple[MulticastGroup, MulticastGroup]] = []
+        index = self._group_index
+        for stream in sorted(self._dirty_streams):
+            old = index.get(stream)
+            members = self._subscribers_by_stream.get(stream)
+            live = members if (members and stream in self._available) else None
+            if old is None:
+                if live:
+                    added.append(
+                        MulticastGroup(stream=stream, subscribers=frozenset(live))
+                    )
+            elif live is None:
+                removed.append(old)
+            elif old.subscribers != live:
+                changed.append(
+                    (old, MulticastGroup(stream=stream, subscribers=frozenset(live)))
+                )
+        self._dirty_streams.clear()
+        return ProblemDelta(
+            added=tuple(added), removed=tuple(removed), changed=tuple(changed)
+        )
+
+    def _patch_group_index(self, delta: ProblemDelta) -> None:
+        """Advance the diff base by the delta just applied (O(churn))."""
+        index = self._group_index
+        for group in delta.removed:
+            del index[group.stream]
+        for _old, group in delta.changed:
+            index[group.stream] = group
+        for group in delta.added:
+            index[group.stream] = group
+
+    def _reset_group_index(self, problem: ForestProblem) -> None:
+        """Re-anchor the diff base on a freshly scanned/assembled problem."""
+        self._group_index = {group.stream: group for group in problem.groups}
+        self._dirty_streams.clear()
+
+    def _guard_hybrid(
+        self, repair, problem: ForestProblem, rng: RngStream
+    ) -> tuple[BuildResult | None, str]:
+        """Hybrid adoption: quality-guard the repair against scratch.
+
+        ``measure`` mode solves from scratch every round and compares
+        directly (the original guard).  ``estimate`` mode skips the
+        scratch solve while the repair is feasible, rejection-free and
+        the accumulated repair-delta estimate stays inside the drift
+        budget; otherwise it *verifies*: solves from scratch under the
+        same ``"scratch"`` RNG label — spawning is stateless, so skipped
+        rounds leave every other draw untouched and a verification round
+        is bit-identical to a measured round — and applies the real
+        guard.  A verification that keeps the repair re-anchors the
+        estimate on the drift it actually measured.
+        """
+        if self.drift_mode == "estimate" and repair.feasible:
+            if (
+                not repair.result.rejected
+                and self._repairer.drift_estimate <= self.drift_budget
+            ):
+                return repair.result, "repair"
+            self._verifications += 1
+        scratch = self.builder.build(problem, rng.spawn("scratch"))
+        if repair.feasible and self._within_budget(repair.result, scratch):
+            scratch_cost = overlay_cost(scratch)
+            measured = (
+                overlay_cost(repair.result) / scratch_cost - 1.0
+                if scratch_cost > 0.0
+                else 0.0
+            )
+            self._repairer.reset_drift(max(0.0, measured))
+            return repair.result, "repair"
+        return scratch, "rebuild"
 
     def _within_budget(self, repaired: BuildResult, scratch: BuildResult) -> bool:
         """Hybrid adoption rule: no extra rejections, bounded cost drift."""
@@ -328,6 +515,16 @@ class MembershipServer:
     def registrations_skipped(self) -> int:
         """Re-registrations skipped because the payload was unchanged."""
         return self._registrations_skipped
+
+    @property
+    def verifications(self) -> int:
+        """Estimator-triggered scratch verifications (hybrid "estimate")."""
+        return self._verifications
+
+    @property
+    def drift_estimate(self) -> float:
+        """The repairer's accumulated drift estimate since its last anchor."""
+        return self._repairer.drift_estimate
 
     @property
     def last_disruption(self) -> float | None:

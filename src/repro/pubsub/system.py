@@ -43,6 +43,12 @@ class PubSubSystem:
     #: Per-round problem assembly ("auto" | "diffed" | "scratch");
     #: ``None`` adopts the session's default.
     problem_assembly: str | None = None
+    #: Group-delta source for diffed assembly ("dirty" | "scan");
+    #: ``None`` adopts the session's default.
+    delta_source: str | None = None
+    #: Hybrid drift mode ("estimate" | "measure"); ``None`` adopts the
+    #: session's default.
+    drift_mode: str | None = None
     rps: dict[int, RPAgent] = field(default_factory=dict)
     server: MembershipServer = field(init=False)
 
@@ -57,6 +63,8 @@ class PubSubSystem:
             latency_bound_ms=self.latency_bound_ms,
             rebuild_policy=self.rebuild_policy,
             problem_assembly=self.problem_assembly,
+            delta_source=self.delta_source,
+            drift_mode=self.drift_mode,
         )
 
     # -- subscription entry points --------------------------------------------------

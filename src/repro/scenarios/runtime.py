@@ -24,6 +24,7 @@ streams in the same order); the equivalence suite pins that.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.registry import make_builder
@@ -279,6 +280,8 @@ class ScenarioRuntime:
             latency_bound_ms=spec.latency_bound_ms,
             rebuild_policy=spec.rebuild_policy,
             problem_assembly=spec.problem_assembly,
+            delta_source=spec.delta_source,
+            drift_mode=spec.drift_mode,
         )
         self.active: set[int] = set()
         #: Flat, site-ordered list of every active site's published
@@ -299,6 +302,11 @@ class ScenarioRuntime:
         #: Every directive the control plane emitted, in epoch order
         #: (the equivalence suite compares these across control styles).
         self.directives: list[OverlayDirective] = []
+        #: Wall-clock seconds of each synchronous control round
+        #: (advertise through install, audit excluded).  The perf sweep
+        #: reads this so round timings carry real per-round best/mean
+        #: instead of one smeared total.
+        self.round_wall_s: list[float] = []
         self.service: MembershipService | None = None
         if spec.async_control:
             self.service = MembershipService(
@@ -341,6 +349,8 @@ class ScenarioRuntime:
                 displays_per_site=spec.displays_per_site,
                 rebuild_policy=spec.rebuild_policy,
                 problem_assembly=spec.problem_assembly,
+                delta_source=spec.delta_source,
+                drift_mode=spec.drift_mode,
                 control_delay_ms=spec.control_delay_ms,
                 debounce_ms=spec.debounce_ms,
                 control_loss_rate=spec.loss_rate,
@@ -507,6 +517,7 @@ class ScenarioRuntime:
 
     def _control_round(self, label: str) -> None:
         """Advertise, aggregate, build, install — then audit (sync path)."""
+        round_start = time.perf_counter()
         for site in sorted(self.active):
             rp = self.rps[site]
             self.server.register_advertisement(rp.advertisement())
@@ -516,6 +527,7 @@ class ScenarioRuntime:
         )
         for site in sorted(self.active):
             self.rps[site].apply_directive(directive)
+        self.round_wall_s.append(time.perf_counter() - round_start)
         result = self.server.last_result
         assert result is not None
         self.directives.append(directive)

@@ -27,6 +27,8 @@ from repro.pubsub.faults import PartitionWindow
 from repro.util.rng import RngStream
 from repro.util.validation import (
     check_assembly_policy,
+    check_delta_source,
+    check_drift_mode,
     check_non_negative,
     check_probability,
     check_rebuild_policy,
@@ -110,6 +112,17 @@ class ScenarioSpec:
         previous round's problem patching only the changed groups, and
         ``auto`` (default) uses diffed whenever ``rebuild_policy`` is
         not ``always``.
+    delta_source:
+        Where diffed assembly gets its per-round group delta:
+        ``dirty`` (default) derives it from the membership server's
+        dirty-tracked registrations in O(churn); ``scan`` re-walks the
+        global workload (the equivalence baseline).  Bit-identical.
+    drift_mode:
+        How the ``hybrid`` rebuild policy measures drift: ``estimate``
+        (default) stays scratch-free until the accumulated repair-delta
+        estimate crosses the budget or a repair carries rejections;
+        ``measure`` solves from scratch every round (the original
+        guard).
     async_control:
         Replay the schedule through the event-driven
         :class:`~repro.pubsub.service.MembershipService` instead of
@@ -165,6 +178,8 @@ class ScenarioSpec:
     algorithm: str = "rj"
     rebuild_policy: str = "always"
     problem_assembly: str = "auto"
+    delta_source: str = "dirty"
+    drift_mode: str = "estimate"
     nodes: str = "uniform"
     backbone: str = "tier1"
     latency_bound_ms: float = 120.0
@@ -205,6 +220,8 @@ class ScenarioSpec:
             )
         check_rebuild_policy(self.rebuild_policy)
         check_assembly_policy(self.problem_assembly)
+        check_delta_source(self.delta_source)
+        check_drift_mode(self.drift_mode)
         # Local import: repro.core.backend sits under the core package,
         # whose __init__ indirectly imports session/scenario modules.
         from repro.core.backend import check_backend_name

@@ -21,7 +21,12 @@ from repro.topology.dense import DenseCostMatrix
 from repro.topology.graph import Topology
 from repro.topology.placement import place_sites
 from repro.util.rng import RngStream
-from repro.util.validation import check_assembly_policy, check_rebuild_policy
+from repro.util.validation import (
+    check_assembly_policy,
+    check_delta_source,
+    check_drift_mode,
+    check_rebuild_policy,
+)
 
 
 @dataclass
@@ -41,6 +46,12 @@ class SessionConfig:
     #: cost/limit tables from the session every round or evolves the
     #: previous round's problem (see :meth:`ForestProblem.evolve`).
     problem_assembly: str = "auto"
+    #: Default group-delta source for diffed assembly ("dirty" |
+    #: "scan"); see :data:`repro.util.validation.DELTA_SOURCES`.
+    delta_source: str = "dirty"
+    #: Default hybrid drift mode ("estimate" | "measure"); see
+    #: :data:`repro.util.validation.DRIFT_MODES`.
+    drift_mode: str = "estimate"
     #: Default one-way control-link propagation delay between each RP
     #: and the membership service (event-driven control plane only;
     #: 0 = the synchronous degenerate case).
@@ -84,6 +95,8 @@ class SessionConfig:
             )
         check_rebuild_policy(self.rebuild_policy)
         check_assembly_policy(self.problem_assembly)
+        check_delta_source(self.delta_source)
+        check_drift_mode(self.drift_mode)
         check_backend_name(self.backend)
         if self.control_delay_ms < 0:
             raise SessionError(
@@ -147,6 +160,12 @@ class TISession:
     #: Default per-round problem assembly for control planes over this
     #: session; the server resolves ``problem_assembly=None`` against it.
     problem_assembly: str = "auto"
+    #: Default group-delta source for diffed assembly; the server
+    #: resolves ``delta_source=None`` against it.
+    delta_source: str = "dirty"
+    #: Default hybrid drift mode; the server resolves
+    #: ``drift_mode=None`` against it.
+    drift_mode: str = "estimate"
     #: Default control-link delay / debounce window for the event-driven
     #: control plane; :class:`~repro.pubsub.service.MembershipService`
     #: resolves its own ``None`` knobs against these.
@@ -178,6 +197,8 @@ class TISession:
         self._array_backend = resolve_backend(self.backend)
         check_rebuild_policy(self.rebuild_policy)
         check_assembly_policy(self.problem_assembly)
+        check_delta_source(self.delta_source)
+        check_drift_mode(self.drift_mode)
         if self.control_delay_ms < 0 or self.debounce_ms < 0:
             raise SessionError(
                 "control_delay_ms and debounce_ms must be >= 0, got "
@@ -324,6 +345,8 @@ def build_session(
         registry=registry,
         rebuild_policy=config.rebuild_policy,
         problem_assembly=config.problem_assembly,
+        delta_source=config.delta_source,
+        drift_mode=config.drift_mode,
         control_delay_ms=config.control_delay_ms,
         debounce_ms=config.debounce_ms,
         control_loss_rate=config.control_loss_rate,

@@ -79,3 +79,41 @@ def check_assembly_policy(value: str) -> str:
             f"expected one of: {known}"
         )
     return value
+
+
+#: Where diffed assembly gets its per-round group delta from: ``dirty``
+#: derives it from the membership server's dirty-tracked registrations
+#: (O(churn) per round, never walks the workload); ``scan`` re-derives
+#: the global workload and diffs its groups (O(requests) per round, the
+#: pre-PR-9 behavior).  Both produce bit-identical problems; ``scan``
+#: exists as the equivalence baseline.
+DELTA_SOURCES = ("dirty", "scan")
+
+
+def check_delta_source(value: str) -> str:
+    """Require a known delta source; return it for chaining."""
+    if value not in DELTA_SOURCES:
+        known = ", ".join(DELTA_SOURCES)
+        raise ConfigurationError(
+            f"unknown delta source {value!r}; expected one of: {known}"
+        )
+    return value
+
+
+#: How the hybrid rebuild policy measures drift: ``measure`` solves from
+#: scratch every round and compares (the original guard, O(build) per
+#: round); ``estimate`` accumulates a drift estimate from repair deltas
+#: and only solves from scratch to verify when the estimate crosses the
+#: budget (or the repair carries rejections) — scratch-free between
+#: verifications.
+DRIFT_MODES = ("estimate", "measure")
+
+
+def check_drift_mode(value: str) -> str:
+    """Require a known hybrid drift mode; return it for chaining."""
+    if value not in DRIFT_MODES:
+        known = ", ".join(DRIFT_MODES)
+        raise ConfigurationError(
+            f"unknown drift mode {value!r}; expected one of: {known}"
+        )
+    return value

@@ -416,3 +416,142 @@ class TestProblemAssembly:
             directives.append(server.build_overlay(rng.spawn("r3")))
             rounds.append(directives)
         assert rounds[0] == rounds[1]
+
+
+class TestDirtyDeltaAssembly:
+    """Edge cases of the O(churn) dirty-derived problem delta.
+
+    The digest matrix in ``tests/scenarios/test_delta_digests.py`` pins
+    dirty- vs scan-derived assembly end to end; these tests target the
+    derivation's corner states directly: withdrawals racing dirty marks,
+    dirty-but-unchanged streams, and a round where every group churns.
+    """
+
+    @pytest.fixture
+    def diffed_server(self, small_session) -> MembershipServer:
+        return MembershipServer(
+            session=small_session,
+            builder=RandomJoinBuilder(),
+            latency_bound_ms=150.0,
+            rebuild_policy="incremental",
+            problem_assembly="diffed",
+            delta_source="dirty",
+        )
+
+    @staticmethod
+    def scan_groups(server: MembershipServer) -> list:
+        """The reference group list, re-derived by the full scan."""
+        from repro.core.problem import ForestProblem
+
+        return ForestProblem.from_workload(
+            server.session, server.global_workload(), server.latency_bound_ms
+        ).groups
+
+    def test_withdraw_while_dirty(self, diffed_server, small_session, rng):
+        server = diffed_server
+        advertise_all(server, small_session)
+        server.register_subscription(
+            SiteSubscription(site=0, streams=(StreamId(1, 0), StreamId(2, 0)))
+        )
+        server.register_subscription(
+            SiteSubscription(site=3, streams=(StreamId(2, 0),))
+        )
+        server.build_overlay(rng.spawn("r1"))
+        # Dirty a group of site 2's, then withdraw the advertiser before
+        # the next assembly: the group must come out *removed*, not
+        # changed, and site 2's other groups must vanish with it.
+        server.register_subscription(
+            SiteSubscription(site=3, streams=(StreamId(2, 0), StreamId(2, 1)))
+        )
+        server.withdraw_site(2)
+        server.build_overlay(rng.spawn("r2"))
+        assert server.last_assembly == "diffed"
+        problem = server.last_result.problem
+        assert all(group.stream.site != 2 for group in problem.groups)
+        assert problem.groups == self.scan_groups(server)
+
+    def test_reregister_identical_yields_empty_delta(
+        self, diffed_server, small_session, rng
+    ):
+        server = diffed_server
+        advertise_all(server, small_session)
+        server.register_subscription(
+            SiteSubscription(site=0, streams=(StreamId(1, 0),))
+        )
+        server.build_overlay(rng.spawn("r1"))
+        first = server.last_result.problem
+        # Identical re-registration is dirty-skipped outright ...
+        assert (
+            server.register_subscription(
+                SiteSubscription(site=0, streams=(StreamId(1, 0),))
+            )
+            is False
+        )
+        # ... while a withdraw-then-restore race marks streams dirty
+        # without changing any effective group: the delta must come out
+        # empty and the next problem share the previous group objects.
+        server.withdraw_site(0)
+        server.register_advertisement(
+            Advertisement(
+                site=0, streams=tuple(small_session.site(0).stream_ids)
+            )
+        )
+        server.register_subscription(
+            SiteSubscription(site=0, streams=(StreamId(1, 0),))
+        )
+        server.build_overlay(rng.spawn("r2"))
+        second = server.last_result.problem
+        assert server.last_assembly == "diffed"
+        assert second.groups == first.groups
+        assert all(a is b for a, b in zip(second.groups, first.groups))
+
+    def test_full_churn_round_matches_scan(
+        self, diffed_server, small_session, rng
+    ):
+        server = diffed_server
+        advertise_all(server, small_session)
+        n = small_session.n_sites
+        for site in range(n):
+            others = [s for s in range(n) if s != site]
+            server.register_subscription(
+                SiteSubscription(site=site, streams=(StreamId(others[0], 0),))
+            )
+        server.build_overlay(rng.spawn("r1"))
+        # Every site rewires at once: the delta carries removals,
+        # additions and changes in the same round, touching every group.
+        for site in range(n):
+            others = [s for s in range(n) if s != site]
+            server.register_subscription(
+                SiteSubscription(
+                    site=site,
+                    streams=(
+                        StreamId(others[1], 0),
+                        StreamId(others[2], 1),
+                    ),
+                )
+            )
+        server.build_overlay(rng.spawn("r2"))
+        assert server.last_assembly == "diffed"
+        problem = server.last_result.problem
+        scan = self.scan_groups(server)
+        assert problem.groups == scan
+        assert problem.total_requests() == sum(
+            len(group.subscribers) for group in scan
+        )
+
+    def test_invalid_subscriptions_rejected_at_registration(
+        self, diffed_server
+    ):
+        from repro.errors import SubscriptionError
+
+        # The dirty path never materializes a workload, so the payload
+        # validation the workload constructor used to provide must hold
+        # at registration time.
+        with pytest.raises(SubscriptionError):
+            diffed_server.register_subscription(
+                SiteSubscription(site=1, streams=(StreamId(1, 0),))
+            )
+        with pytest.raises(SubscriptionError):
+            diffed_server.register_subscription(
+                SiteSubscription(site=1, streams=(StreamId(7, 0),))
+            )
