@@ -70,6 +70,21 @@ if [[ "${1:-}" == "--full" ]]; then
         --audit --strict --max-unrecovered 0 --max-unrecovered-frames 0
 
     echo
+    echo "== server-crash gate: cold restart mid-join-burst, full soft-state refresh =="
+    python -m repro.cli scenario run server-crash-flash-crowd --sites 8 \
+        --seed 7 --audit --strict --max-unrecovered 0 --max-unrecovered-reports 0
+
+    echo
+    echo "== server-crash gate: double restart under churn, warm checkpoint restore =="
+    python -m repro.cli scenario run server-restart-churn --sites 8 \
+        --seed 7 --audit --strict --max-unrecovered 0 --max-unrecovered-reports 0
+
+    echo
+    echo "== server-crash gate: outage inside a site partition window =="
+    python -m repro.cli scenario run server-crash-partition-overlap --sites 8 \
+        --seed 7 --audit --strict --max-unrecovered 0 --max-unrecovered-reports 0
+
+    echo
     echo "== perf smoke (fast plane must beat the event-driven plane) =="
     python -m repro.cli perf smoke --sites 12
 

@@ -195,9 +195,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="ack timeout arming retransmission with "
                                "capped exponential backoff (implies "
                                "--async-control; 0 keeps fire-and-forget)")
+    scen_run.add_argument("--server-outage", action="append", default=None,
+                          metavar="START:END",
+                          help="crash the membership server for [START,END) "
+                               "ms — it restarts under a higher incarnation "
+                               "and reconstructs soft state from the sites "
+                               "(repeatable; implies --async-control; "
+                               "requires heartbeats + retransmission)")
+    scen_run.add_argument("--phi-threshold", type=float, default=None,
+                          help="phi-accrual suspicion threshold replacing "
+                               "the static miss-threshold deadline on both "
+                               "failure detectors (implies --async-control; "
+                               "0 keeps the static deadline)")
+    scen_run.add_argument("--checkpoint-interval-ms", type=float, default=None,
+                          help="period of the server's durable soft-state "
+                               "checkpoint for warm restarts (implies "
+                               "--async-control; 0 restarts cold)")
     scen_run.add_argument("--max-unrecovered", type=int, default=None,
                           help="fail (exit 1) if more than this many active "
                                "sites end the run unregistered (chaos gate)")
+    scen_run.add_argument("--max-unrecovered-reports", type=int, default=None,
+                          help="fail (exit 1) if more than this many parked "
+                               "reports end the run unreplayed (server-crash "
+                               "gate)")
     scen_run.add_argument("--data-loss-rate", type=float, default=None,
                           help="data-plane frame drop probability per hop "
                                "(routes dissemination to the event plane; "
@@ -457,6 +477,30 @@ def _parse_partition(text: str):
         raise SystemExit(2) from None
 
 
+def _parse_outage(text: str):
+    """Parse one ``START:END`` server-outage-window argument."""
+    from repro.pubsub.faults import ServerOutageWindow
+
+    parts = text.split(":")
+    if len(parts) != 2:
+        print(
+            f"tele3d: error: --server-outage expects START:END, got {text!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    try:
+        return ServerOutageWindow(
+            start_ms=float(parts[0]), end_ms=float(parts[1])
+        )
+    except ValueError:
+        print(
+            f"tele3d: error: --server-outage expects START:END numbers, "
+            f"got {text!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2) from None
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     """Dispatch ``scenario run`` / ``scenario list``."""
     from repro.scenarios import (
@@ -492,6 +536,9 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         args.heartbeat_ms,
         args.miss_threshold,
         args.retransmit_timeout_ms,
+        args.server_outage,
+        args.phi_threshold,
+        args.checkpoint_interval_ms,
     )
     if (
         args.async_control
@@ -542,6 +589,21 @@ def cmd_scenario(args: argparse.Namespace) -> int:
                 args.retransmit_timeout_ms
                 if args.retransmit_timeout_ms is not None
                 else spec.retransmit_timeout_ms
+            ),
+            server_outages=(
+                tuple(_parse_outage(text) for text in args.server_outage)
+                if args.server_outage is not None
+                else spec.server_outages
+            ),
+            phi_threshold=(
+                args.phi_threshold
+                if args.phi_threshold is not None
+                else spec.phi_threshold
+            ),
+            checkpoint_interval_ms=(
+                args.checkpoint_interval_ms
+                if args.checkpoint_interval_ms is not None
+                else spec.checkpoint_interval_ms
             ),
         )
     # Data-plane chaos overrides live on their own simulator, so they do
@@ -604,6 +666,15 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         print(
             f"FAIL: {report.dataplane_frames_unrecovered} unrecovered frame "
             f"instances (allowed {args.max_unrecovered_frames})"
+        )
+        failed = True
+    if (
+        args.max_unrecovered_reports is not None
+        and report.unrecovered_reports > args.max_unrecovered_reports
+    ):
+        print(
+            f"FAIL: {report.unrecovered_reports} unrecovered parked reports "
+            f"(allowed {args.max_unrecovered_reports})"
         )
         failed = True
     if failed:

@@ -78,6 +78,19 @@ LOSSY_LOSS_RATE = 0.2
 LOSSY_JITTER_MS = 5.0
 LOSSY_RETRANSMIT_TIMEOUT_MS = 60.0
 
+#: Failure-detection latency series: the rolling-failure chaos scenario
+#: timed under both detectors (static deadline vs φ-accrual at the
+#: conventional threshold) on both link profiles (quiet, and the
+#: scenario's native 20% loss).  Detection latency is *simulated*
+#: milliseconds — deterministic per (seed, N) — so the series gates the
+#: PR 10 acceptance pins as ratchet behavior checks: φ must stay at or
+#: under static on quiet links, and its lossy-link latency (the price
+#: of zero false suspicions there) must not silently grow.
+PHI_THRESHOLD = 8.0
+#: Rolling failures at every site count get expensive; past this size
+#: the series adds nothing the small cases don't already gate.
+DETECTION_MAX_SITES = 64
+
 #: Dense-workload share of the large-tree build series: every site
 #: subscribes to each of site 0's streams with this probability, so at
 #: N=256 each tree has ~192 members — far past the numpy kernels'
@@ -141,6 +154,16 @@ class PerfCase:
     #: dense-build tree (~0.75N members) — the committed series
     #: protecting the mirror-fed vectorized scan kernel.
     parent_scan_dense: Timing | None = None
+    #: Simulated mean failure-detection latency of the rolling-failure
+    #: scenario (``best_ms``; ``repeats`` is the detection count), one
+    #: series per detector x link profile: static deadline vs φ-accrual
+    #: (:data:`PHI_THRESHOLD`), quiet link vs the scenario's native 20%
+    #: loss.  Simulated time — deterministic per (seed, N) — so these
+    #: gate detector behavior, not machine speed.
+    detection_static: Timing | None = None
+    detection_static_lossy: Timing | None = None
+    detection_phi: Timing | None = None
+    detection_phi_lossy: Timing | None = None
 
     @property
     def speedup(self) -> float | None:
@@ -196,6 +219,24 @@ class PerfCase:
                 if self.parent_scan_dense
                 else None
             ),
+            "detection_static": (
+                self.detection_static.to_dict()
+                if self.detection_static
+                else None
+            ),
+            "detection_static_lossy": (
+                self.detection_static_lossy.to_dict()
+                if self.detection_static_lossy
+                else None
+            ),
+            "detection_phi": (
+                self.detection_phi.to_dict() if self.detection_phi else None
+            ),
+            "detection_phi_lossy": (
+                self.detection_phi_lossy.to_dict()
+                if self.detection_phi_lossy
+                else None
+            ),
             "frames_delivered": self.frames_delivered,
             "reports_identical": self.reports_identical,
             "speedup": self.speedup,
@@ -247,6 +288,8 @@ class PerfReport:
                 "dense-build ms",
                 "pscan ms",
                 "sampled ms",
+                "detect st/phi ms(sim)",
+                "detect@20% st/phi ms(sim)",
                 "identical",
             ],
             title=f"perf sweep [{self.label}]",
@@ -304,6 +347,12 @@ class PerfReport:
                         if case.sampled_plane
                         else "-"
                     ),
+                    _detection_cell(
+                        case.detection_static, case.detection_phi
+                    ),
+                    _detection_cell(
+                        case.detection_static_lossy, case.detection_phi_lossy
+                    ),
                     (
                         "yes"
                         if case.reports_identical
@@ -312,6 +361,13 @@ class PerfReport:
                 ]
             )
         return table.render()
+
+
+def _detection_cell(static: Timing | None, phi: Timing | None) -> str:
+    """``static/phi`` mean-detection cell for the summary table."""
+    static_text = f"{static.best_ms:.0f}" if static else "-"
+    phi_text = f"{phi.best_ms:.0f}" if phi else "-"
+    return f"{static_text}/{phi_text}"
 
 
 def reports_equal(a: DataPlaneReport, b: DataPlaneReport) -> bool:
@@ -419,6 +475,47 @@ def _measure_control_convergence(
         repeats=rounds,
         total_s=total_s,
         best_s=total_s / rounds,
+    )
+
+
+def _measure_detection_latency(
+    n_sites: int, seed: int, phi: bool, lossy: bool
+) -> Timing | None:
+    """Simulated mean failure-detection latency, one detector x link combo.
+
+    Runs the ``heartbeat-rolling-failure`` chaos scenario — staggered
+    real site deaths over a churning membership — with either the
+    static ``miss_threshold x heartbeat_ms`` deadline or the φ-accrual
+    detector at :data:`PHI_THRESHOLD`, on either a quiet link or the
+    scenario's native 20%-lossy one.  ``best_ms`` is the mean latency
+    from a site's last beat to its suspicion, ``repeats`` the number of
+    real failures detected.  Simulated milliseconds: deterministic per
+    (seed, N), so the ratchet gates detector *behavior* with it — the
+    quiet-link series pins "φ detects no later than static", the lossy
+    series pins the latency φ pays for zero false suspicions there.
+    """
+    from repro.scenarios.library import get_scenario
+    from repro.scenarios.runtime import ScenarioRuntime
+
+    spec = replace(
+        get_scenario("heartbeat-rolling-failure", sites=n_sites, seed=seed),
+        backbone=f"synthetic-{n_sites}",
+    )
+    if not lossy:
+        spec = replace(spec, loss_rate=0.0)
+    if phi:
+        spec = replace(spec, phi_threshold=PHI_THRESHOLD)
+    report = ScenarioRuntime(spec, audit=False).run()
+    if report.detected_failures == 0:
+        return None
+    mean_s = report.mean_detection_ms / 1000.0
+    detector = "phi" if phi else "static"
+    link = "lossy" if lossy else "quiet"
+    return Timing(
+        label=f"detection/{detector}/{link}/N{n_sites}",
+        repeats=report.detected_failures,
+        total_s=mean_s * report.detected_failures,
+        best_s=mean_s,
     )
 
 
@@ -622,6 +719,21 @@ def run_perf_case(
             n_sites, seed, backend=backend, lossy=True
         )
 
+    detection_timings: dict[str, Timing | None] = {
+        "static": None,
+        "static_lossy": None,
+        "phi": None,
+        "phi_lossy": None,
+    }
+    if with_scenario and n_sites <= DETECTION_MAX_SITES:
+        for key in detection_timings:
+            detection_timings[key] = _measure_detection_latency(
+                n_sites,
+                seed,
+                phi=key.startswith("phi"),
+                lossy=key.endswith("lossy"),
+            )
+
     dense_timing: Timing | None = None
     parent_scan_timing: Timing | None = None
     if n_sites <= SCENARIO_MAX_SITES:
@@ -652,6 +764,10 @@ def run_perf_case(
         sampled_plane=sampled_timing,
         scenario_round_hybrid=scenario_hybrid_timing,
         parent_scan_dense=parent_scan_timing,
+        detection_static=detection_timings["static"],
+        detection_static_lossy=detection_timings["static_lossy"],
+        detection_phi=detection_timings["phi"],
+        detection_phi_lossy=detection_timings["phi_lossy"],
     )
 
 
@@ -786,6 +902,11 @@ def compare_reports(old: dict, new: dict) -> str:
 #: ``scenario_round_hybrid`` protects the estimator-gated scratch-free
 #: hybrid (between re-solves a round must stay ~incremental cost), and
 #: ``parent_scan_dense`` the mirror-fed vectorized parent scan itself.
+#: The four ``detection_*`` series are simulated failure-detection
+#: latencies (static vs φ-accrual, quiet vs 20% loss): deterministic
+#: per (seed, N), they ratchet the PR 10 detector-behavior pins — a
+#: detector change that doubles time-to-suspicion fails CI even though
+#: no wall clock moved.
 RATCHET_METRICS = (
     "build",
     "fast_plane",
@@ -795,6 +916,10 @@ RATCHET_METRICS = (
     "build_large_tree",
     "parent_scan_dense",
     "sampled_plane",
+    "detection_static",
+    "detection_static_lossy",
+    "detection_phi",
+    "detection_phi_lossy",
 )
 
 #: Default regression threshold: new/old wall-clock ratios above this

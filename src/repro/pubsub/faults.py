@@ -34,7 +34,11 @@ from typing import Callable
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.util.rng import RngStream
-from repro.util.validation import check_non_negative, check_probability
+from repro.util.validation import (
+    check_disjoint_windows,
+    check_non_negative,
+    check_probability,
+)
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,39 @@ class PartitionWindow:
 
 
 @dataclass(frozen=True)
+class ServerOutageWindow:
+    """One timed membership-server crash: down over ``[start_ms, end_ms)``.
+
+    At ``start_ms`` the server *crashes* — every piece of in-memory soft
+    state (registrations, epoch counters, pending build/retransmit
+    timers, detector history) is dropped on the floor, and messages
+    arriving during the window die at the dead server.  At ``end_ms``
+    it restarts under a higher incarnation number (warm from its last
+    checkpoint if checkpointing is armed, cold otherwise) and
+    reconstructs its registrations from the sites' soft-state refresh.
+    Outages are deterministic: no RNG is involved, and windows must not
+    overlap (validated where a set of windows is configured).
+    """
+
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0:
+            raise ConfigurationError(
+                f"outage start must be >= 0, got {self.start_ms}"
+            )
+        if not self.end_ms > self.start_ms:
+            raise ConfigurationError(
+                f"outage end {self.end_ms} must be after start {self.start_ms}"
+            )
+
+    def covers(self, time_ms: float) -> bool:
+        """True while the server is down at ``time_ms``."""
+        return self.start_ms <= time_ms < self.end_ms
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Fault model of one control link.
 
@@ -84,21 +121,34 @@ class FaultConfig:
         later (its copy draws its own jitter).
     partitions:
         Timed site<->server cuts; see :class:`PartitionWindow`.
+    outages:
+        Timed membership-server crashes; see :class:`ServerOutageWindow`.
+        Consumed by the :class:`~repro.pubsub.service.MembershipService`
+        (which schedules its own crash/recover transitions), not by the
+        link — the link only moves messages; it is the dead server that
+        ignores them.
     """
 
     loss_rate: float = 0.0
     jitter_ms: float = 0.0
     duplicate_rate: float = 0.0
     partitions: tuple[PartitionWindow, ...] = ()
+    outages: tuple[ServerOutageWindow, ...] = ()
 
     def __post_init__(self) -> None:
         check_probability("loss_rate", self.loss_rate)
         check_non_negative("jitter_ms", self.jitter_ms)
         check_probability("duplicate_rate", self.duplicate_rate)
+        check_disjoint_windows("server outage", self.outages)
 
     @property
     def impaired(self) -> bool:
-        """True when any fault can actually fire."""
+        """True when any *link* fault can actually fire.
+
+        Server outages deliberately do not count: they impair the
+        server, not the link, so an outage-only config keeps the link's
+        zero-fault fast path (no RNG draws, undisturbed scheduling).
+        """
         return bool(
             self.loss_rate
             or self.jitter_ms

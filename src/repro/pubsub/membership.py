@@ -31,6 +31,7 @@ counts are tracked for reporting.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError, SubscriptionError
@@ -56,6 +57,33 @@ from repro.util.validation import (
     check_non_negative,
 )
 from repro.workload.spec import SubscriptionWorkload
+
+
+@dataclass(frozen=True)
+class ServerCheckpoint:
+    """A durable snapshot of the membership server's soft state.
+
+    Everything a warm restart needs: the registrations (from which all
+    derived indices are rebuilt), the epoch counter (so post-restart
+    directives outrank what sites already installed), and the last
+    forest's edge summary.  Snapshots are plain immutable data — what a
+    deployment would serialize to disk — taken periodically by the
+    event-driven service when ``checkpoint_interval_ms`` is armed.
+    """
+
+    epoch: int
+    advertised: tuple[tuple[int, tuple[StreamId, ...]], ...]
+    subscriptions: tuple[tuple[int, tuple[StreamId, ...]], ...]
+    #: Edge summary of the last emitted forest (None before any round).
+    edges: tuple | None
+
+    @property
+    def registered(self) -> int:
+        """Sites the checkpoint knows (either registration kind)."""
+        return len(
+            {site for site, _ in self.advertised}
+            | {site for site, _ in self.subscriptions}
+        )
 
 
 @dataclass
@@ -258,6 +286,93 @@ class MembershipServer:
         heartbeat from one marks a zombie needing re-admission.
         """
         return site in self._advertised or site in self._subscriptions
+
+    # -- crash / checkpoint / recovery --------------------------------------------
+
+    def crash(self) -> None:
+        """Drop every piece of in-memory soft state (the server died).
+
+        Registrations, derived indices, the epoch counter, the carried
+        problem/result/forest — everything a process restart would
+        vaporize.  Observability counters survive (they model the
+        operator's metrics pipeline, not the server's memory).
+        Recovery is the inverse protocol: :meth:`restore` from a
+        checkpoint for a warm start, then sites replay their soft state
+        and :meth:`ensure_epoch_floor` fast-forwards past whatever
+        epochs they still hold.
+        """
+        self._advertised.clear()
+        self._subscriptions.clear()
+        self._available.clear()
+        self._subscribers_by_stream.clear()
+        self._dirty_streams.clear()
+        self._group_index.clear()
+        self._epoch = 0
+        self._last_problem = None
+        self._last_result = None
+        self._last_edges = None
+        self._repairer.reset_drift()
+
+    def checkpoint(self) -> ServerCheckpoint:
+        """Snapshot the soft state a warm restart would reload."""
+        return ServerCheckpoint(
+            epoch=self._epoch,
+            advertised=tuple(sorted(self._advertised.items())),
+            subscriptions=tuple(sorted(self._subscriptions.items())),
+            edges=self._last_edges,
+        )
+
+    def restore(self, snapshot: ServerCheckpoint) -> None:
+        """Warm restart: reload a checkpoint into a just-crashed server.
+
+        Registrations and the epoch counter come back; the derived
+        availability/subscriber indices are rebuilt from them.  The
+        dense problem and builder state are *not* checkpointed (they
+        are caches), so the first post-restore round assembles from
+        scratch — only post-checkpoint registration deltas then need to
+        be re-collected from the sites' refresh replay.
+        """
+        self.crash()
+        self._epoch = snapshot.epoch
+        self._last_edges = snapshot.edges
+        for site, streams in snapshot.advertised:
+            self._advertised[site] = streams
+            self._index_advertised(set(), set(streams))
+        for site, streams in snapshot.subscriptions:
+            self._subscriptions[site] = streams
+            self._index_subscribed(site, set(), set(streams))
+        # The indices above dirtied every restored stream, but with no
+        # carried problem the next assembly is scratch and re-anchors
+        # the diff base anyway.
+        self._dirty_streams.clear()
+
+    def ensure_epoch_floor(self, epoch: int) -> None:
+        """Fast-forward the epoch counter to at least ``epoch``.
+
+        After a cold crash the counter restarts at 0 while sites still
+        hold the old incarnation's epochs — without a floor, every
+        recovery directive would be discarded as stale.  The service
+        calls this with the installed epoch each arriving envelope
+        reports; in a crash-free run a site's epoch never exceeds the
+        server's, so the call is inert there.
+        """
+        if epoch > self._epoch:
+            self._epoch = epoch
+
+    def soft_state_digest(self) -> str:
+        """SHA-256 over the registrations — the reconstruction invariant.
+
+        Two servers with equal digests will assemble identical
+        workloads.  The crash/recovery suite pins a recovered server's
+        digest equal to a never-crashed reference run's, which is the
+        whole point of soft-state reconstruction.
+        """
+        digest = hashlib.sha256()
+        for site, streams in sorted(self._advertised.items()):
+            digest.update(f"A{site}:{streams!r};".encode())
+        for site, streams in sorted(self._subscriptions.items()):
+            digest.update(f"S{site}:{streams!r};".encode())
+        return digest.hexdigest()
 
     # -- overlay construction ------------------------------------------------------
 

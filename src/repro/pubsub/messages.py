@@ -176,11 +176,22 @@ class ControlEnvelope:
         marks an unsequenced envelope (hand-built test messages, or
         kinds like heartbeats that never need dedup) — those always
         apply.
+    incarnation:
+        The membership server's incarnation number at send time,
+        stamped on every *server-originated* envelope (acks, rejoin
+        requests, heartbeat responses).  Sites discard anything from an
+        incarnation below the highest they have seen, and treat the
+        first contact from a *higher* incarnation as "the server
+        crashed and came back empty": they answer with a full
+        soft-state refresh.  ``0`` marks an unversioned envelope
+        (site-to-server reports, hand-built test messages) — those are
+        never discarded on incarnation grounds.
     """
 
     sent_ms: float
     epoch: int
     seq: int = field(default=0, kw_only=True)
+    incarnation: int = field(default=0, kw_only=True)
 
 
 @dataclass(frozen=True)
@@ -243,6 +254,21 @@ class Heartbeat(ControlEnvelope):
     Heartbeats are fire-and-forget (no seq dedup, no retransmit): the
     next beat supersedes a lost one, and the server only ever reads the
     latest arrival time.
+    """
+
+    site: int
+
+
+@dataclass(frozen=True)
+class HeartbeatAck(ControlEnvelope):
+    """Server-to-site heartbeat response (server-failover mode only).
+
+    Sent for every received :class:`Heartbeat` when the control plane
+    runs with server failover armed: the stream of these acks is what a
+    site's server-suspicion detector scores, and the ``incarnation``
+    stamp is how a site first learns that the server crashed and came
+    back.  Like heartbeats they are fire-and-forget — the next beat
+    provokes the next ack.
     """
 
     site: int

@@ -74,20 +74,28 @@ class RPAgent:
 
     # -- overlay directive -----------------------------------------------------------
 
-    def apply_directive(self, directive: OverlayDirective) -> None:
+    def apply_directive(
+        self, directive: OverlayDirective, supersede: bool = False
+    ) -> None:
         """Install the forwarding table dictated by the membership server.
 
         A delta directive whose ``base_epoch`` matches the installed
         epoch is applied incrementally — only the added/removed edges
         touch the tables.  On an epoch gap (this RP missed a round, or
         never installed one) the full edge set is installed instead.
+
+        ``supersede`` bypasses the monotonic-epoch guard and forces a
+        full install: a restarted membership server may re-number epochs
+        its dead predecessor already used, so its directives order by
+        incarnation, not by epoch — and the delta base chain of the old
+        incarnation is meaningless to the new one.
         """
-        if directive.epoch <= self._epoch:
+        if not supersede and directive.epoch <= self._epoch:
             raise ProtocolError(
                 f"stale directive epoch {directive.epoch} at site "
                 f"{self.site.index} (current {self._epoch})"
             )
-        if directive.is_delta and directive.base_epoch == self._epoch:
+        if not supersede and directive.is_delta and directive.base_epoch == self._epoch:
             self._apply_delta(directive)
         else:
             forwarding: dict[StreamId, list[int]] = {}

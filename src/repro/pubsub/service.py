@@ -54,7 +54,26 @@ mechanisms, each inert until its knob is turned:
   declared event into a *detected* one.  A heartbeat from a site the
   server no longer knows (a zombie: falsely suspected across a
   partition) provokes a :class:`~repro.pubsub.messages.RejoinRequest`,
-  and the live site re-admits itself as a fresh join.
+  and the live site re-admits itself as a fresh join.  With
+  ``phi_threshold > 0`` the static deadline is replaced on both ends
+  by the φ-accrual detector
+  (:class:`~repro.pubsub.detector.PhiAccrualDetector`), which adapts
+  its silence budget to each link's observed heartbeat cadence.
+* **Server crash / recovery** (``faults.outages`` or an explicit
+  ``crash_server()``) — the membership server itself can die: all of
+  its soft state (registrations, epochs, dedup floors, pending
+  timers) vanishes, and it restarts under a higher *incarnation*
+  number, warm from a durable checkpoint
+  (``checkpoint_interval_ms > 0``) or cold.  Every server-originated
+  envelope carries the incarnation; sites discard messages from dead
+  incarnations and answer the first contact from a higher one with a
+  full soft-state refresh (advertise + subscribe replay) from which
+  the server reconstructs its registrations.  Meanwhile each site
+  scores the server's heartbeat-response stream with its own failure
+  detector: on suspicion (or ack starvation) it *parks* outbound
+  reports — timer-free, so a drain stays clean — and replays them in
+  sequence order on the next server contact, so no membership change
+  is lost to the outage.
 
 With all knobs at zero the service degenerates to the synchronous
 model: every event triggers exactly one round at the event's own
@@ -73,8 +92,9 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.base import BuildResult
 from repro.errors import ConfigurationError, ProtocolError
+from repro.pubsub.detector import PhiAccrualDetector
 from repro.pubsub.faults import FaultConfig, FaultyLink
-from repro.pubsub.membership import MembershipServer
+from repro.pubsub.membership import MembershipServer, ServerCheckpoint
 from repro.pubsub.messages import (
     Advertise,
     Advertisement,
@@ -82,6 +102,7 @@ from repro.pubsub.messages import (
     ControlEnvelope,
     DirectiveAck,
     Heartbeat,
+    HeartbeatAck,
     OverlayDirective,
     RejoinRequest,
     SiteSubscription,
@@ -91,7 +112,11 @@ from repro.pubsub.messages import (
 from repro.pubsub.rp import RPAgent
 from repro.sim.engine import Simulator, Timer
 from repro.util.rng import RngStream
-from repro.util.validation import check_non_negative
+from repro.util.validation import (
+    check_finite_non_negative,
+    check_non_negative,
+    check_phi_threshold,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.invariants import InvariantAuditor
@@ -134,6 +159,10 @@ class ControlRound:
     epoch: int
     #: Arrival time of the dirty message that opened the debounce window.
     trigger_ms: float
+    #: Server incarnation that built the round (0 on hand-built rounds;
+    #: sites discard directives from incarnations below their highest
+    #: seen, except 0 which is unversioned).
+    incarnation: int = field(default=0, kw_only=True)
     #: Time the overlay was actually built (window close).
     built_ms: float
     #: ``"repair"`` or ``"rebuild"`` (the server's mode for the round).
@@ -210,6 +239,22 @@ class MembershipService:
         keeps the legacy fire-and-forget transport (no acks at all).
     max_retransmits:
         Attempts after the original send before giving up.
+    phi_threshold:
+        φ-accrual suspicion threshold (see
+        :class:`~repro.pubsub.detector.PhiAccrualDetector`); ``None``
+        resolves against the session, 0 keeps the static
+        ``miss_threshold x heartbeat_ms`` deadline.  Requires
+        heartbeats to have a cadence to score.
+    checkpoint_interval_ms:
+        Period of the server's durable soft-state checkpoint; ``None``
+        resolves against the session, 0 disables checkpointing (a
+        crashed server restarts cold and rebuilds purely from the
+        sites' refresh).
+    server_failover:
+        Arms the client-side half of server crash tolerance: heartbeat
+        responses, server suspicion, report parking/replay.  ``None``
+        arms it exactly when the fault model schedules outages, which
+        keeps the machinery bit-invisible in crash-free runs.
     """
 
     def __init__(
@@ -228,6 +273,9 @@ class MembershipService:
         miss_threshold: int | None = None,
         retransmit_timeout_ms: float | None = None,
         max_retransmits: int = DEFAULT_MAX_RETRANSMITS,
+        phi_threshold: float | None = None,
+        checkpoint_interval_ms: float | None = None,
+        server_failover: bool | None = None,
     ) -> None:
         session = server.session
         if control_delay_ms is None:
@@ -240,15 +288,23 @@ class MembershipService:
             miss_threshold = session.miss_threshold
         if retransmit_timeout_ms is None:
             retransmit_timeout_ms = session.retransmit_timeout_ms
+        if phi_threshold is None:
+            phi_threshold = session.phi_threshold
+        if checkpoint_interval_ms is None:
+            checkpoint_interval_ms = session.checkpoint_interval_ms
         if faults is None:
             faults = FaultConfig(
                 loss_rate=session.control_loss_rate,
                 jitter_ms=session.control_jitter_ms,
             )
+        if server_failover is None:
+            server_failover = bool(faults.outages)
         check_non_negative("control_delay_ms", control_delay_ms)
         check_non_negative("debounce_ms", debounce_ms)
         check_non_negative("heartbeat_ms", heartbeat_ms)
         check_non_negative("retransmit_timeout_ms", retransmit_timeout_ms)
+        check_phi_threshold(phi_threshold)
+        check_finite_non_negative("checkpoint_interval_ms", checkpoint_interval_ms)
         if miss_threshold < 1:
             raise ConfigurationError(
                 f"miss_threshold must be >= 1, got {miss_threshold}"
@@ -256,6 +312,11 @@ class MembershipService:
         if max_retransmits < 0:
             raise ConfigurationError(
                 f"max_retransmits must be >= 0, got {max_retransmits}"
+            )
+        if phi_threshold > 0 and heartbeat_ms <= 0:
+            raise ConfigurationError(
+                "phi_threshold requires heartbeats: the detector scores "
+                "a heartbeat cadence, so heartbeat_ms must be > 0"
             )
         self.sim = sim
         self.server = server
@@ -270,6 +331,9 @@ class MembershipService:
         self.miss_threshold = miss_threshold
         self.retransmit_timeout_ms = retransmit_timeout_ms
         self.max_retransmits = max_retransmits
+        self.phi_threshold = phi_threshold
+        self.checkpoint_interval_ms = checkpoint_interval_ms
+        self.server_failover = server_failover
         #: The transport every control message crosses.
         self.link = FaultyLink(
             sim,
@@ -326,6 +390,79 @@ class MembershipService:
             self._detector = sim.schedule_timer(
                 self.heartbeat_ms, self._detect, interval_ms=self.heartbeat_ms
             )
+        # -- φ-accrual detectors (None keeps the static deadline) -----------
+        self._site_detector: PhiAccrualDetector | None = None
+        self._server_detector: PhiAccrualDetector | None = None
+        if self.phi_threshold > 0:
+            self._site_detector = PhiAccrualDetector(
+                threshold=self.phi_threshold,
+                initial_interval_ms=self.heartbeat_ms,
+            )
+            if self.server_failover:
+                self._server_detector = PhiAccrualDetector(
+                    threshold=self.phi_threshold,
+                    initial_interval_ms=self.heartbeat_ms,
+                )
+        # -- server crash / recovery ----------------------------------------
+        #: The server's current incarnation; bumped on every recovery.
+        self.incarnation = 1
+        self._server_down = False
+        #: Highest server incarnation each site has seen (sites are born
+        #: knowing incarnation 1, the pre-crash server).
+        self._known_incarnation: dict[int, int] = {}
+        #: Reports parked while their site suspects the server is down
+        #: (no timers: parked entries replay on recovery, so they never
+        #: show up as armed retransmit state).
+        self._parked: dict[tuple[int, int], _PendingReport] = {}
+        #: Sites currently suspecting the server.
+        self._suspecting: set[int] = set()
+        #: (incarnation, epoch) of the directive each site last installed
+        #: *via this service* — the ballot order for supersession.  A
+        #: restarted server may re-number epochs its predecessor used,
+        #: so sites order directives by incarnation first.  Site-side
+        #: state: survives server crashes.
+        self._installed_rounds: dict[int, tuple[int, int]] = {}
+        #: Per-site "lingering departure" probes: a site that withdrew
+        #: while the server was unreachable stays up just long enough to
+        #: deliver its parked farewell (no heartbeats anymore, so the
+        #: probe is its only remaining path to learning the server came
+        #: back).
+        self._linger_timers: dict[int, Timer] = {}
+        #: Last server contact per site (acks, directives, rejoins).
+        self._server_last_seen: dict[int, float] = {}
+        self._checkpoint: ServerCheckpoint | None = None
+        self._checkpoint_timer: Timer | None = None
+        self._client_sweep: Timer | None = None
+        self._recovery_started: float | None = None
+        self.server_crashes = 0
+        self.server_recoveries = 0
+        self.stale_incarnation_discards = 0
+        self.refresh_replays = 0
+        self.server_suspicions = 0
+        self.reports_parked = 0
+        self.reports_replayed = 0
+        self.linger_probes = 0
+        self.messages_lost_to_outage = 0
+        self.checkpoints_taken = 0
+        self.checkpoint_restores = 0
+        #: Recovery-to-reconverged latency per server recovery (the time
+        #: from restart until every live site is registered again).
+        self.recovery_latencies: list[float] = []
+        if self.checkpoint_interval_ms > 0:
+            self._checkpoint_timer = sim.schedule_timer(
+                self.checkpoint_interval_ms,
+                self._take_checkpoint,
+                interval_ms=self.checkpoint_interval_ms,
+            )
+        if self.server_failover and self.heartbeat_ms > 0:
+            self._client_sweep = sim.schedule_timer(
+                self.heartbeat_ms,
+                self._client_detect,
+                interval_ms=self.heartbeat_ms,
+            )
+        for window in faults.outages:
+            sim.schedule_at(window.start_ms, self.crash_server)
+            sim.schedule_at(window.end_ms, self.recover_server)
 
     @property
     def reliable(self) -> bool:
@@ -407,6 +544,11 @@ class MembershipService:
             entry = self._unacked.pop(key)
             if entry.timer is not None:
                 entry.timer.cancel()
+        for key in [k for k in self._parked if k[0] == site]:
+            del self._parked[key]
+        timer = self._linger_timers.pop(site, None)
+        if timer is not None:
+            timer.cancel()
 
     def mark_dirty(self) -> None:
         """Force a build round even without control traffic.
@@ -431,6 +573,15 @@ class MembershipService:
         if self._detector is not None:
             self._detector.cancel()
             self._detector = None
+        if self._client_sweep is not None:
+            self._client_sweep.cancel()
+            self._client_sweep = None
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+            self._checkpoint_timer = None
+        for timer in self._linger_timers.values():
+            timer.cancel()
+        self._linger_timers.clear()
 
     # -- message propagation -------------------------------------------------------
 
@@ -454,6 +605,17 @@ class MembershipService:
         if site is None:
             site = message.site  # type: ignore[attr-defined]
         kind = _kind_of(message)
+        if self.server_failover and site in self._suspecting:
+            # The site believes the server is down: transmitting would
+            # only burn retransmit attempts into a dead socket.  Park
+            # the report; it replays in seq order on the next server
+            # contact (same or higher incarnation).
+            self._parked[(site, message.seq)] = _PendingReport(
+                site=site, kind=kind, message=message
+            )
+            self.reports_parked += 1
+            self._ensure_linger(site)
+            return
         self.link.transmit(
             site,
             self.delay_for(site),
@@ -480,6 +642,17 @@ class MembershipService:
             return
         if entry.attempts >= self.max_retransmits:
             del self._unacked[(site, seq)]
+            if self.server_failover:
+                # Ack starvation with failover armed is a server-death
+                # signal, not a reason to lose the report: park it (and
+                # everything else this site has in flight) for replay.
+                entry.timer = None
+                entry.attempts = 0
+                self._parked[(site, seq)] = entry
+                self.reports_parked += 1
+                self._suspect_server(site)
+                self._ensure_linger(site)
+                return
             self.retransmit_giveups += 1
             return
         entry.attempts += 1
@@ -509,12 +682,23 @@ class MembershipService:
 
     def _receive(self, message: ControlEnvelope) -> None:
         """Server-side arrival of one control envelope."""
+        if self._server_down:
+            # Dead process: the message crossed the link into nothing.
+            self.messages_lost_to_outage += 1
+            return
         if isinstance(message, Heartbeat):
             self._receive_heartbeat(message)
             return
         site: int = message.site  # type: ignore[attr-defined]
         kind = _kind_of(message)
         self._last_seen[site] = self.sim.now
+        if self._site_detector is not None:
+            self._site_detector.touch(site, self.sim.now)
+        # A restarted (cold) server must never hand out epochs below
+        # what sites already installed — fast-forward to any higher
+        # epoch a report carries.  Provably inert crash-free: a site's
+        # installed epoch can never exceed the server's.
+        self.server.ensure_epoch_floor(message.epoch)
         verdict = self._classify(site, kind, message.seq)
         if verdict != "apply":
             if verdict == "duplicate":
@@ -533,6 +717,19 @@ class MembershipService:
             self.server.register_subscription(message.subscription)
             self._withdrawn.discard(site)
         elif isinstance(message, Withdraw):
+            newest = max(
+                self._applied_seq.get((site, "advertise"), 0),
+                self._applied_seq.get((site, "subscribe"), 0),
+            )
+            if 0 < message.seq < newest:
+                # The site re-announced after issuing this leave (seqs
+                # share one per-site counter, so the order is total): a
+                # slow withdrawal straggling in behind the rejoin must
+                # not kill the site's new life.
+                self.stale_reports_discarded += 1
+                if self.reliable:
+                    self._ack_report(site, kind, message.seq)
+                return
             if message.seq > 0:
                 # Any slower pre-leave report must not resurrect the site.
                 self._withdraw_floor[site] = max(
@@ -548,10 +745,14 @@ class MembershipService:
                 return
             self.server.withdraw_site(site)
             self._withdrawn.add(site)
+            if self._site_detector is not None:
+                self._site_detector.forget(site)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected control message {message!r}")
         if self.reliable:
             self._ack_report(site, kind, message.seq)
+        if self._recovery_started is not None:
+            self._check_recovered()
         # Any applied arrival dirties the round — even a payload the
         # dirty-tracked registration skipped.  The synchronous model
         # rebuilds on every report, and randomized builders make
@@ -575,7 +776,12 @@ class MembershipService:
         if seq <= 0:
             return
         ack = ControlAck(
-            sent_ms=self.sim.now, epoch=-1, site=site, acked_seq=seq, kind=kind
+            sent_ms=self.sim.now,
+            epoch=-1,
+            site=site,
+            acked_seq=seq,
+            kind=kind,
+            incarnation=self.incarnation,
         )
         self.link.transmit(
             site,
@@ -587,6 +793,8 @@ class MembershipService:
 
     def _receive_control_ack(self, ack: ControlAck) -> None:
         """Site-side arrival of a report ack: stop that retransmit loop."""
+        if self._note_server_contact(ack.site, ack.incarnation) == "stale":
+            return
         entry = self._unacked.pop((ack.site, ack.acked_seq), None)
         if entry is None:
             self.duplicate_acks += 1
@@ -639,13 +847,40 @@ class MembershipService:
         site = message.site
         self.heartbeats_received += 1
         self._last_seen[site] = self.sim.now
+        self.server.ensure_epoch_floor(message.epoch)
+        if self._site_detector is not None:
+            self._site_detector.observe(site, self.sim.now)
+        if self.server_failover:
+            # Answer every beat: the stream of these acks is what the
+            # site's server-suspicion detector scores, and the
+            # incarnation stamp is how a site first learns the server
+            # came back.  Fire-and-forget — the next beat provokes the
+            # next ack.
+            ack = HeartbeatAck(
+                sent_ms=self.sim.now,
+                epoch=-1,
+                site=site,
+                incarnation=self.incarnation,
+            )
+            self.link.transmit(
+                site,
+                self.delay_for(site),
+                lambda: self._receive_heartbeat_ack(ack),
+                kind="heartbeat-ack",
+                message=ack,
+            )
         if not self.server.is_registered(site):
             # A zombie: alive enough to beat, but the server forgot it
             # (suspected across a partition, or every report was lost).
             # Ask it to rejoin; the request rides the same lossy link,
             # and the next beat re-provokes it if this copy drops.
             self.rejoin_requests += 1
-            request = RejoinRequest(sent_ms=self.sim.now, epoch=-1, site=site)
+            request = RejoinRequest(
+                sent_ms=self.sim.now,
+                epoch=-1,
+                site=site,
+                incarnation=self.incarnation,
+            )
             self.link.transmit(
                 site,
                 self.delay_for(site),
@@ -654,11 +889,20 @@ class MembershipService:
                 message=request,
             )
 
+    def _receive_heartbeat_ack(self, ack: HeartbeatAck) -> None:
+        """Site-side arrival of a heartbeat response (failover mode)."""
+        self._note_server_contact(ack.site, ack.incarnation, beat=True)
+
     def _receive_rejoin(self, request: RejoinRequest) -> None:
         """Site-side arrival of a rejoin request: re-announce if alive."""
         site = request.site
+        verdict = self._note_server_contact(site, request.incarnation)
+        if verdict == "stale":
+            return
         if site not in self._live:
             return  # left or died in the meantime: nothing to re-admit
+        if verdict == "refreshed":
+            return  # the incarnation bump already replayed a full refresh
         self.readmissions += 1
         rp = self.rps[site]
         self.advertise(rp.advertisement())
@@ -666,8 +910,13 @@ class MembershipService:
 
     def _detect(self) -> None:
         """Recurring server-side sweep: suspect silent registered sites."""
-        deadline = self.miss_threshold * self.heartbeat_ms
         now = self.sim.now
+        if self._site_detector is not None:
+            for site in self.server.registered_sites():
+                if self._site_detector.suspect(site, now):
+                    self._suspect(site)
+            return
+        deadline = self.miss_threshold * self.heartbeat_ms
         for site in self.server.registered_sites():
             if now - self._last_seen.get(site, now) > deadline:
                 self._suspect(site)
@@ -682,8 +931,273 @@ class MembershipService:
             if fail_ms is not None:
                 self.detection_latencies.append(self.sim.now - fail_ms)
         self._withdrawn.add(site)
+        if self._site_detector is not None:
+            self._site_detector.forget(site)
         self.server.withdraw_site(site)
         self._mark_dirty()
+
+    # -- server crash / recovery -----------------------------------------------------
+
+    def crash_server(self) -> None:
+        """Kill the membership server: every piece of soft state dies.
+
+        Registrations, epoch counters, dedup/withdraw floors, detector
+        history, the open debounce window and every pending directive
+        retransmit all lived in the server process — they vanish.
+        Observability counters (and any durable checkpoint) survive,
+        because they model the experimenter's view, not the server's.
+        Idempotent; scheduled by :class:`~repro.pubsub.faults.ServerOutageWindow`
+        starts or called directly by tests/runtimes.
+        """
+        if self._server_down:
+            return
+        self._server_down = True
+        self.server_crashes += 1
+        # Pending timers die with the process.
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+            self._trigger_ms = None
+            self._coalesced = 0
+        if self._detector is not None:
+            self._detector.cancel()
+            self._detector = None
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+            self._checkpoint_timer = None
+        for entry in self._pending_directives.values():
+            if entry.timer is not None:
+                entry.timer.cancel()
+            # The dead incarnation stops waiting on this site — same
+            # settling as a retransmit give-up, so the round can still
+            # converge and audit against the sites that did install.
+            round_ = entry.round_
+            round_._awaiting_ack.discard(entry.site)
+            self._check_converged(round_)
+            if entry.site in round_._awaiting_install:
+                round_._awaiting_install.discard(entry.site)
+                if not round_._awaiting_install:
+                    self._finish_install(round_)
+        self._pending_directives.clear()
+        # Server-side per-site soft state.
+        self._applied_seq.clear()
+        self._withdraw_floor.clear()
+        self._withdrawn.clear()
+        self._last_seen.clear()
+        self._fail_times.clear()
+        if self._site_detector is not None:
+            self._site_detector.reset()
+        self._recovery_started = None
+        self.server.crash()
+
+    def recover_server(self) -> None:
+        """Restart the server under the next incarnation.
+
+        Warm when a checkpoint is held (registrations up to the last
+        snapshot come back; only post-checkpoint deltas must be
+        re-collected), cold otherwise (everything rebuilds from the
+        sites' soft-state refresh).  Idempotent; scheduled by outage
+        window ends.
+        """
+        if not self._server_down:
+            return
+        self._server_down = False
+        self.incarnation += 1
+        self.server_recoveries += 1
+        if self._checkpoint is not None:
+            self.server.restore(self._checkpoint)
+            self.checkpoint_restores += 1
+        self._recovery_started = self.sim.now
+        self._check_recovered()
+        if not self._quiesced:
+            if self.heartbeat_ms > 0 and self._detector is None:
+                self._detector = self.sim.schedule_timer(
+                    self.heartbeat_ms,
+                    self._detect,
+                    interval_ms=self.heartbeat_ms,
+                )
+            if self.checkpoint_interval_ms > 0 and self._checkpoint_timer is None:
+                self._checkpoint_timer = self.sim.schedule_timer(
+                    self.checkpoint_interval_ms,
+                    self._take_checkpoint,
+                    interval_ms=self.checkpoint_interval_ms,
+                )
+
+    def _take_checkpoint(self) -> None:
+        """Recurring durable snapshot of the server's registrations."""
+        if self._server_down:
+            return
+        self._checkpoint = self.server.checkpoint()
+        self.checkpoints_taken += 1
+
+    def _check_recovered(self) -> None:
+        """Close the open recovery-latency measurement once reconverged."""
+        if self._recovery_started is None:
+            return
+        registered = set(self.server.registered_sites())
+        if self._live <= registered:
+            self.recovery_latencies.append(self.sim.now - self._recovery_started)
+            self._recovery_started = None
+
+    # -- client-side server suspicion ------------------------------------------------
+
+    def _note_server_contact(
+        self, site: int, incarnation: int, beat: bool = False
+    ) -> str:
+        """Site-side bookkeeping for one server-originated arrival.
+
+        Returns ``"stale"`` (the caller must discard the message: it
+        was sent by a dead incarnation), ``"refreshed"`` (first contact
+        from a higher incarnation — parked reports were replayed and a
+        full soft-state refresh was sent), or ``"ok"``.  ``incarnation
+        == 0`` marks an unversioned envelope and is never stale.
+        """
+        known = self._known_incarnation.get(site, 1)
+        if 0 < incarnation < known:
+            self.stale_incarnation_discards += 1
+            return "stale"
+        if self.server_failover:
+            now = self.sim.now
+            self._server_last_seen[site] = now
+            if self._server_detector is not None:
+                if beat:
+                    self._server_detector.observe(site, now)
+                else:
+                    self._server_detector.touch(site, now)
+        if incarnation > known:
+            self._known_incarnation[site] = incarnation
+            self._refresh_site(site)
+            return "refreshed"
+        if site in self._suspecting:
+            # Same incarnation answering again: the server never died
+            # (ack starvation came from the link) — replay what we
+            # parked, it dedups server-side if already applied.
+            self._unsuspect(site)
+        return "ok"
+
+    def _refresh_site(self, site: int) -> None:
+        """Full soft-state refresh after first contact with a new incarnation.
+
+        Replays the site's parked reports first (their seqs predate any
+        fresh ones, so arrival order matches seq order), then re-sends
+        the authoritative advertise/subscribe pair the restarted server
+        rebuilds its registrations from.
+        """
+        self._unsuspect(site)
+        if site not in self._live:
+            return
+        self.refresh_replays += 1
+        rp = self.rps[site]
+        self.advertise(rp.advertisement())
+        self.subscribe(rp.aggregate_subscription())
+
+    def _client_detect(self) -> None:
+        """Recurring site-side sweep: suspect a silent server (failover mode)."""
+        now = self.sim.now
+        deadline = self.miss_threshold * self.heartbeat_ms
+        for site in sorted(self._live):
+            if site in self._suspecting:
+                continue
+            last = self._server_last_seen.get(site)
+            if last is None:
+                continue  # never heard from the server: nothing to score
+            if self._server_detector is not None:
+                if not self._server_detector.suspect(site, now):
+                    continue
+            elif now - last <= deadline:
+                continue
+            self._suspect_server(site)
+
+    def _suspect_server(self, site: int) -> None:
+        """One site starts believing the server is down: park its traffic."""
+        if site in self._suspecting:
+            return
+        self._suspecting.add(site)
+        self.server_suspicions += 1
+        for key in sorted(k for k in self._unacked if k[0] == site):
+            entry = self._unacked.pop(key)
+            if entry.timer is not None:
+                entry.timer.cancel()
+            entry.timer = None
+            entry.attempts = 0
+            self._parked[key] = entry
+            self.reports_parked += 1
+        self._ensure_linger(site)
+
+    def _ensure_linger(self, site: int) -> None:
+        """Keep a departed site alive until its parked farewell lands.
+
+        A live site re-learns the server via heartbeat acks; a site that
+        withdrew while suspecting has no heartbeats left, so without
+        this probe its parked Withdraw would wait forever and the
+        membership change would be lost.  The probe re-offers the
+        oldest parked report at retransmit cadence; the ack it provokes
+        carries the server's incarnation and triggers the normal full
+        replay.  Quiescing cancels the probe — a site still parked at
+        the horizon is exactly what ``unrecovered_reports`` counts.
+        """
+        if (
+            not self.server_failover
+            or self.retransmit_timeout_ms <= 0
+            or self._quiesced
+            or site in self._live
+            or site in self._linger_timers
+            or not any(k[0] == site for k in self._parked)
+        ):
+            return
+        self._linger_timers[site] = self.sim.schedule_timer(
+            self.retransmit_timeout_ms, lambda: self._linger_probe(site)
+        )
+
+    def _linger_probe(self, site: int) -> None:
+        self._linger_timers.pop(site, None)
+        keys = sorted(k for k in self._parked if k[0] == site)
+        if not keys or site in self._live or self._quiesced:
+            return
+        entry = self._parked[keys[0]]
+        message = entry.message
+        self.linger_probes += 1
+        self.link.transmit(
+            site,
+            self.delay_for(site),
+            lambda: self._receive(message),
+            kind=entry.kind,
+            message=message,
+        )
+        self._linger_timers[site] = self.sim.schedule_timer(
+            self.retransmit_timeout_ms * RETRANSMIT_BACKOFF_CAP,
+            lambda: self._linger_probe(site),
+        )
+
+    def _unsuspect(self, site: int) -> None:
+        """Server contact re-established: replay the site's parked reports."""
+        self._suspecting.discard(site)
+        timer = self._linger_timers.pop(site, None)
+        if timer is not None:
+            timer.cancel()
+        if self._server_detector is not None:
+            # The silence is explained (crash, not drift): start the
+            # site's estimate of the new server's cadence fresh.
+            self._server_detector.forget(site)
+            self._server_last_seen.pop(site, None)
+        for key in sorted(k for k in self._parked if k[0] == site):
+            entry = self._parked.pop(key)
+            self.reports_replayed += 1
+            message = entry.message
+            self.link.transmit(
+                site,
+                self.delay_for(site),
+                lambda message=message: self._receive(message),
+                kind=entry.kind,
+                message=message,
+            )
+            if self.reliable and entry.kind != "heartbeat":
+                self._unacked[key] = entry
+                seq = message.seq
+                entry.timer = self.sim.schedule_timer(
+                    self.retransmit_timeout_ms,
+                    lambda site=site, seq=seq: self._retransmit_report(site, seq),
+                )
 
     # -- debounced build rounds ------------------------------------------------------
 
@@ -711,6 +1225,7 @@ class MembershipService:
         round_ = ControlRound(
             epoch=directive.epoch,
             trigger_ms=trigger_ms,
+            incarnation=self.incarnation,
             built_ms=self.sim.now,
             mode=self.server.last_mode or "rebuild",
             assembly=self.server.last_assembly or "scratch",
@@ -788,10 +1303,29 @@ class MembershipService:
         if entry is not None and entry.timer is not None:
             entry.timer.cancel()
 
+    def _installed_key(self, site: int, incarnation: int) -> tuple[int, int]:
+        """The ballot the site's installed table holds, for ordering
+        against a directive from ``incarnation``.
+
+        A site never installed through this service has no recorded
+        ballot; its bare epoch is compared same-incarnation (the legacy
+        numeric order), so crash-free behaviour is untouched.
+        """
+        recorded = self._installed_rounds.get(site)
+        if recorded is None:
+            return (incarnation, self.rps[site].epoch)
+        return recorded
+
     def _deliver(self, site: int, round_: ControlRound) -> None:
         """One directive lands at one RP (apply, ack — or discard)."""
+        if self._note_server_contact(site, round_.incarnation) == "stale":
+            # A dead incarnation's directive still in flight: its round
+            # was abandoned at the crash, nobody is waiting on this.
+            return
         rp = self.rps[site]
         directive = round_.directive
+        ballot = (round_.incarnation, directive.epoch)
+        installed = self._installed_key(site, round_.incarnation)
         if site not in round_._awaiting_install:
             # A duplicate copy (link duplication, or a retransmit racing
             # its own ack).  The first arrival did the work; if the
@@ -801,13 +1335,13 @@ class MembershipService:
             if (
                 self.reliable
                 and site not in round_.stale_sites
-                and rp.epoch >= directive.epoch
+                and installed >= ballot
             ):
                 self._send_directive_ack(site, round_)
             return
-        if rp.epoch >= directive.epoch:
+        if installed >= ballot:
             # Out-of-order delivery: the RP already installed a newer
-            # epoch, so this directive is stale and must not roll the
+            # ballot, so this directive is stale and must not roll the
             # site back.  The round stops waiting on this site.
             self.stale_directives += 1
             round_.stale_sites = round_.stale_sites + (site,)
@@ -815,7 +1349,13 @@ class MembershipService:
             self._cancel_pending_directive(site, round_.epoch)
             self._check_converged(round_)
         else:
-            rp.apply_directive(directive)
+            # Supersession: a higher incarnation replaces whatever the
+            # dead one installed, even if it re-used the epoch number —
+            # and never as a delta, whose base chain died with it.
+            rp.apply_directive(
+                directive, supersede=installed[0] != round_.incarnation
+            )
+            self._installed_rounds[site] = ballot
             self._send_directive_ack(site, round_)
         round_._awaiting_install.discard(site)
         if not round_._awaiting_install:
@@ -834,6 +1374,9 @@ class MembershipService:
         )
 
     def _receive_ack(self, ack: DirectiveAck, round_: ControlRound) -> None:
+        if self._server_down:
+            self.messages_lost_to_outage += 1
+            return
         if ack.epoch != round_.epoch:
             raise ProtocolError(
                 f"ack for epoch {ack.epoch} routed to round {round_.epoch}"
@@ -856,13 +1399,17 @@ class MembershipService:
             return
         round_._install_finished = True
         if self.auditor is not None:
-            # Audit the epoch against the sites actually holding it;
-            # under delay skew a fast site may already be ahead (it will
-            # be audited at its own epoch's completion instead).
+            # Audit the epoch against the sites actually holding *this*
+            # round's table — matched by ballot, not epoch number: a
+            # fast site may already be ahead (audited at its own
+            # epoch's completion instead), and after a server restart a
+            # partitioned site may hold the dead incarnation's table
+            # under the same number.
+            ballot = (round_.incarnation, round_.epoch)
             holding = {
                 site: self.rps[site]
                 for site in round_.installed
-                if self.rps[site].epoch == round_.epoch
+                if self._installed_key(site, round_.incarnation) == ballot
             }
             self.auditor.audit_round(
                 round_.result,
@@ -896,6 +1443,59 @@ class MembershipService:
         cancelled, or given up; the scenario runtime asserts it.
         """
         return len(self._unacked) + len(self._pending_directives)
+
+    @property
+    def server_down(self) -> bool:
+        """True while the membership server is crashed."""
+        return self._server_down
+
+    @property
+    def parked_reports(self) -> int:
+        """Reports buffered by sites suspecting the server that the
+        server has not yet applied.
+
+        Parked entries own no timers (they replay on server contact),
+        so they are deliberately *not* armed retransmit state; any left
+        after a drain are the unrecovered reports the scenario report
+        gates on.  An entry only counts while delivering it would still
+        change membership: an ack-starved report whose *acks* (not the
+        report) died on the link is already applied server-side and
+        moot, as is anything behind the site's withdraw floor or a
+        farewell the site's own rejoin has since outrun — the same
+        staleness rules ``_receive`` applies on delivery.
+        """
+        count = 0
+        for (site, seq), entry in self._parked.items():
+            if seq <= self._applied_seq.get((site, entry.kind), 0):
+                continue  # already applied: only the acks were lost
+            if entry.kind != "withdraw" and seq < self._withdraw_floor.get(
+                site, 0
+            ):
+                continue  # behind the site's own departure
+            if entry.kind == "withdraw" and 0 < seq < max(
+                self._applied_seq.get((site, "advertise"), 0),
+                self._applied_seq.get((site, "subscribe"), 0),
+            ):
+                continue  # pre-rejoin straggler: delivery would discard it
+            count += 1
+        return count
+
+    @property
+    def suspecting_sites(self) -> set[int]:
+        """Sites currently believing the server is down."""
+        return set(self._suspecting)
+
+    def mean_recovery_ms(self) -> float:
+        """Mean restart-to-reconverged latency over server recoveries."""
+        if not self.recovery_latencies:
+            return 0.0
+        return sum(self.recovery_latencies) / len(self.recovery_latencies)
+
+    def max_recovery_ms(self) -> float:
+        """Worst-case restart-to-reconverged latency over server recoveries."""
+        if not self.recovery_latencies:
+            return 0.0
+        return max(self.recovery_latencies)
 
     def converged_rounds(self) -> list[ControlRound]:
         """Rounds whose last ack has arrived."""

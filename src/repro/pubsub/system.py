@@ -134,6 +134,9 @@ class PubSubSystem:
         heartbeat_ms: float | None = None,
         miss_threshold: int | None = None,
         retransmit_timeout_ms: float | None = None,
+        phi_threshold: float | None = None,
+        checkpoint_interval_ms: float | None = None,
+        server_failover: bool | None = None,
     ):
         """Attach this system's server and RPs to an event-driven service.
 
@@ -160,6 +163,9 @@ class PubSubSystem:
             heartbeat_ms=heartbeat_ms,
             miss_threshold=miss_threshold,
             retransmit_timeout_ms=retransmit_timeout_ms,
+            phi_threshold=phi_threshold,
+            checkpoint_interval_ms=checkpoint_interval_ms,
+            server_failover=server_failover,
         )
 
     # -- inspection --------------------------------------------------------------------

@@ -17,7 +17,11 @@ On top of the six base shapes sits a *chaos family*
 (:func:`chaos_scenario_names`): the same schedules replayed through the
 event-driven control plane over an impaired link — message loss,
 jitter, duplication, timed partitions — with retransmission and
-heartbeat failure detection armed.  The chaos variants are a separate
+heartbeat failure detection armed, plus a server-crash trio
+(``server-crash-flash-crowd``, ``server-restart-churn``,
+``server-crash-partition-overlap``) where the membership server itself
+dies mid-run and must reconstruct its soft state from the sites after
+restarting under a higher incarnation.  The chaos variants are a separate
 registry so the base-family digest pins (six names, fixed order) stay
 untouched; :func:`get_scenario` resolves both.
 
@@ -32,7 +36,7 @@ from dataclasses import replace
 from typing import Callable
 
 from repro.errors import ConfigurationError
-from repro.pubsub.faults import PartitionWindow
+from repro.pubsub.faults import PartitionWindow, ServerOutageWindow
 from repro.scenarios.spec import EventKind, SchedulePhase, ScenarioSpec
 
 
@@ -225,6 +229,78 @@ def lossy_dissemination(sites: int = 8, seed: int = 7) -> ScenarioSpec:
     )
 
 
+def server_crash_flash_crowd(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """The membership server dies in the middle of the join burst.
+
+    Every registration collected before 350ms evaporates with the
+    crash; sites park what the dead server never acked and answer the
+    restarted incarnation's first contact with a full soft-state
+    refresh, so by the drain the recovered server must know exactly the
+    sites a never-crashed one would.  φ-accrual keeps the lossy link
+    from turning the outage into false *site* suspicions.
+    """
+    return replace(
+        flash_crowd(sites, seed),
+        name="server-crash-flash-crowd",
+        async_control=True,
+        control_delay_ms=20.0,
+        debounce_ms=10.0,
+        loss_rate=0.1,
+        jitter_ms=5.0,
+        retransmit_timeout_ms=60.0,
+        heartbeat_ms=40.0,
+        miss_threshold=3,
+        phi_threshold=8.0,
+        server_outages=(ServerOutageWindow(start_ms=350.0, end_ms=550.0),),
+    )
+
+
+def server_restart_churn(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """Mixed churn across *two* server outages with warm checkpoints.
+
+    The server snapshots its registrations every 150ms, so each restart
+    comes back warm: only the membership changes since the last
+    checkpoint must be re-collected from the sites' refresh replies.
+    Churn keeps flowing through both outages — joins, leaves and
+    failures landing at a dead server must all be replayed, detected or
+    re-derived without losing a membership change.
+    """
+    return replace(
+        mixed_churn(sites, seed),
+        name="server-restart-churn",
+        async_control=True,
+        control_delay_ms=15.0,
+        debounce_ms=10.0,
+        loss_rate=0.05,
+        jitter_ms=5.0,
+        retransmit_timeout_ms=60.0,
+        heartbeat_ms=40.0,
+        miss_threshold=3,
+        checkpoint_interval_ms=150.0,
+        server_outages=(
+            ServerOutageWindow(start_ms=500.0, end_ms=700.0),
+            ServerOutageWindow(start_ms=1300.0, end_ms=1500.0),
+        ),
+    )
+
+
+def server_crash_partition_overlap(sites: int = 8, seed: int = 7) -> ScenarioSpec:
+    """A server outage inside a site partition: two failure modes at once.
+
+    Site 0 is cut from 600ms to 1100ms; the server dies at 700ms and
+    restarts (cold) at 900ms *inside* that window.  The partitioned
+    site must distinguish "my link is dead" from "the server is dead",
+    survive being falsely suspected by the restarted server, and
+    re-admit itself through the zombie path once the partition heals —
+    while every other site runs the ordinary crash-refresh protocol.
+    """
+    return replace(
+        partitioned_churn(sites, seed),
+        name="server-crash-partition-overlap",
+        server_outages=(ServerOutageWindow(start_ms=700.0, end_ms=900.0),),
+    )
+
+
 _SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
     "flash-crowd": flash_crowd,
     "mass-leave": mass_leave,
@@ -242,6 +318,9 @@ _CHAOS_SCENARIOS: dict[str, Callable[[int, int], ScenarioSpec]] = {
     "heartbeat-rolling-failure": heartbeat_rolling_failure,
     "partitioned-churn": partitioned_churn,
     "lossy-dissemination": lossy_dissemination,
+    "server-crash-flash-crowd": server_crash_flash_crowd,
+    "server-restart-churn": server_restart_churn,
+    "server-crash-partition-overlap": server_crash_partition_overlap,
 }
 
 

@@ -119,6 +119,29 @@ class ScenarioReport:
     #: longer knows — suspicions that never healed.  The chaos CI gate
     #: requires this to be zero.
     unrecovered_suspicions: int = 0
+    #: Server-recovery results (all zero unless the spec scheduled
+    #: server outages).
+    server_recovery: bool = False
+    server_crashes: int = 0
+    server_recoveries: int = 0
+    #: Mean/max restart-to-reconverged latency over server recoveries.
+    mean_recovery_ms: float = 0.0
+    max_recovery_ms: float = 0.0
+    #: Full advertise+subscribe replays provoked by a new incarnation.
+    refresh_replays: int = 0
+    #: Server-originated messages discarded as sent by a dead incarnation.
+    stale_incarnation_discards: int = 0
+    #: Site-side server-death suspicions (ack starvation or detector).
+    server_suspicions: int = 0
+    reports_parked: int = 0
+    reports_replayed: int = 0
+    messages_lost_to_outage: int = 0
+    checkpoints_taken: int = 0
+    checkpoint_restores: int = 0
+    #: Reports still parked at the end of the drain — membership changes
+    #: an outage permanently swallowed.  The server-crash CI gate
+    #: requires this to be zero.
+    unrecovered_reports: int = 0
     #: Data-plane chaos results (all zero unless the spec's ``data_*``
     #: knobs perturbed the dissemination measurement).
     data_chaos: bool = False
@@ -208,6 +231,19 @@ class ScenarioReport:
                 f"{self.false_suspicions} false suspicions, "
                 f"{self.readmissions} re-admissions, "
                 f"{self.unrecovered_suspicions} unrecovered"
+            )
+        if self.server_recovery:
+            lines.append(
+                f"server recovery: {self.server_crashes} crashes / "
+                f"{self.server_recoveries} recoveries (mean "
+                f"{self.mean_recovery_ms:.1f}ms / max "
+                f"{self.max_recovery_ms:.1f}ms to reconverge), "
+                f"{self.refresh_replays} soft-state refreshes, "
+                f"{self.stale_incarnation_discards} stale-incarnation "
+                f"discards, {self.reports_parked} reports parked / "
+                f"{self.reports_replayed} replayed "
+                f"({self.unrecovered_reports} unrecovered), "
+                f"{self.checkpoint_restores} warm restores"
             )
         if self.dataplane_frames_delivered:
             lines.append(
@@ -322,11 +358,14 @@ class ScenarioRuntime:
                     jitter_ms=spec.jitter_ms,
                     duplicate_rate=spec.duplicate_rate,
                     partitions=spec.partitions,
+                    outages=spec.server_outages,
                 ),
                 chaos_rng=self.rng.spawn("chaos"),
                 heartbeat_ms=spec.heartbeat_ms,
                 miss_threshold=spec.miss_threshold,
                 retransmit_timeout_ms=spec.retransmit_timeout_ms,
+                phi_threshold=spec.phi_threshold,
+                checkpoint_interval_ms=spec.checkpoint_interval_ms,
             )
             self.service.on_round = self._record_async_round
 
@@ -358,6 +397,8 @@ class ScenarioRuntime:
                 heartbeat_ms=spec.heartbeat_ms,
                 miss_threshold=spec.miss_threshold,
                 retransmit_timeout_ms=spec.retransmit_timeout_ms,
+                phi_threshold=spec.phi_threshold,
+                checkpoint_interval_ms=spec.checkpoint_interval_ms,
                 data_loss_rate=spec.data_loss_rate,
                 data_jitter_ms=spec.data_jitter_ms,
                 data_duplicate_rate=spec.data_duplicate_rate,
@@ -415,6 +456,23 @@ class ScenarioRuntime:
         if self.auditor is not None:
             self.report.audit = self.auditor.report()
         return self.report
+
+    def crash_server(self) -> None:
+        """Kill the membership server now (async control planes only)."""
+        if self.service is None:
+            raise SimulationError(
+                "crash_server requires async_control (the synchronous "
+                "path has no live server process to kill)"
+            )
+        self.service.crash_server()
+
+    def recover_server(self) -> None:
+        """Restart a crashed membership server now."""
+        if self.service is None:
+            raise SimulationError(
+                "recover_server requires async_control"
+            )
+        self.service.recover_server()
 
     # -- event execution ----------------------------------------------------------
 
@@ -601,6 +659,27 @@ class ScenarioRuntime:
             self.report.unrecovered_suspicions = sum(
                 1 for site in self.active if site not in registered
             )
+        self.report.server_recovery = bool(
+            service.server_failover or service.server_crashes
+        )
+        if self.report.server_recovery:
+            self.report.server_crashes = service.server_crashes
+            self.report.server_recoveries = service.server_recoveries
+            self.report.mean_recovery_ms = service.mean_recovery_ms()
+            self.report.max_recovery_ms = service.max_recovery_ms()
+            self.report.refresh_replays = service.refresh_replays
+            self.report.stale_incarnation_discards = (
+                service.stale_incarnation_discards
+            )
+            self.report.server_suspicions = service.server_suspicions
+            self.report.reports_parked = service.reports_parked
+            self.report.reports_replayed = service.reports_replayed
+            self.report.messages_lost_to_outage = (
+                service.messages_lost_to_outage
+            )
+            self.report.checkpoints_taken = service.checkpoints_taken
+            self.report.checkpoint_restores = service.checkpoint_restores
+            self.report.unrecovered_reports = service.parked_reports
 
 
     def _measure_dataplane(self, result) -> None:

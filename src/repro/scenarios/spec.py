@@ -23,13 +23,16 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.pubsub.faults import PartitionWindow
+from repro.pubsub.faults import PartitionWindow, ServerOutageWindow
 from repro.util.rng import RngStream
 from repro.util.validation import (
     check_assembly_policy,
     check_delta_source,
+    check_disjoint_windows,
     check_drift_mode,
+    check_finite_non_negative,
     check_non_negative,
+    check_phi_threshold,
     check_probability,
     check_rebuild_policy,
 )
@@ -147,6 +150,21 @@ class ScenarioSpec:
         Ack timeout arming retransmission with capped exponential
         backoff for reports and directive pushes; 0 keeps the legacy
         fire-and-forget transport.
+    server_outages:
+        Timed membership-server crashes (see
+        :class:`~repro.pubsub.faults.ServerOutageWindow`): the server
+        loses all soft state at each window start and restarts under a
+        higher incarnation at its end.  Require ``async_control`` plus
+        heartbeats and retransmission (the recovery protocol rides
+        both).
+    phi_threshold:
+        φ-accrual suspicion threshold replacing the static
+        ``miss_threshold x heartbeat_ms`` deadline on both failure
+        detectors; 0 keeps the static deadline.  Requires
+        ``heartbeat_ms > 0``.
+    checkpoint_interval_ms:
+        Period of the server's durable soft-state checkpoint for warm
+        restarts; 0 means crashed servers restart cold.
     data_loss_rate / data_jitter_ms / data_duplicate_rate:
         Data-plane fault model for the per-round dissemination
         measurement (the data mirror of the control knobs above).  Any
@@ -198,6 +216,9 @@ class ScenarioSpec:
     heartbeat_ms: float = 0.0
     miss_threshold: int = 3
     retransmit_timeout_ms: float = 0.0
+    server_outages: tuple[ServerOutageWindow, ...] = ()
+    phi_threshold: float = 0.0
+    checkpoint_interval_ms: float = 0.0
     data_loss_rate: float = 0.0
     data_jitter_ms: float = 0.0
     data_duplicate_rate: float = 0.0
@@ -258,6 +279,11 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"miss_threshold must be >= 1, got {self.miss_threshold}"
             )
+        check_phi_threshold(self.phi_threshold)
+        check_finite_non_negative(
+            "checkpoint_interval_ms", self.checkpoint_interval_ms
+        )
+        check_disjoint_windows("server outage", self.server_outages)
         chaotic = bool(
             self.loss_rate
             or self.jitter_ms
@@ -265,11 +291,26 @@ class ScenarioSpec:
             or self.partitions
             or self.heartbeat_ms
             or self.retransmit_timeout_ms
+            or self.server_outages
         )
         if chaotic and not self.async_control:
             raise ConfigurationError(
                 "fault/heartbeat/retransmit knobs require async_control=True "
                 "(the synchronous path has no control links to impair)"
+            )
+        if self.phi_threshold > 0 and self.heartbeat_ms <= 0:
+            raise ConfigurationError(
+                "phi_threshold requires heartbeat_ms > 0 (the detector "
+                "scores a heartbeat cadence)"
+            )
+        if self.server_outages and (
+            self.heartbeat_ms <= 0 or self.retransmit_timeout_ms <= 0
+        ):
+            raise ConfigurationError(
+                "server_outages require heartbeat_ms > 0 and "
+                "retransmit_timeout_ms > 0: crash recovery rides the "
+                "heartbeat/ack streams (heartbeat-acks carry the new "
+                "incarnation, retransmits replay lost reports)"
             )
         check_probability("data_loss_rate", self.data_loss_rate)
         check_non_negative("data_jitter_ms", self.data_jitter_ms)
@@ -354,6 +395,12 @@ class ScenarioSpec:
             )
         if self.retransmit_timeout_ms:
             chaos_bits.append(f"rto={self.retransmit_timeout_ms:.0f}ms")
+        if self.server_outages:
+            chaos_bits.append(f"outages={len(self.server_outages)}")
+        if self.phi_threshold:
+            chaos_bits.append(f"phi={self.phi_threshold:g}")
+        if self.checkpoint_interval_ms:
+            chaos_bits.append(f"ckpt={self.checkpoint_interval_ms:.0f}ms")
         if self.data_loss_rate:
             chaos_bits.append(f"data-loss={self.data_loss_rate:.0%}")
         if self.data_jitter_ms:

@@ -10,6 +10,7 @@ the pairwise RP latency matrix the overlay layer consumes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import SessionError
@@ -72,6 +73,12 @@ class SessionConfig:
     #: Default ack timeout before a sequenced control message is
     #: retransmitted (0 = fire-and-forget, the pre-chaos behavior).
     retransmit_timeout_ms: float = 0.0
+    #: Default φ-accrual suspicion threshold for the failure detector
+    #: (0 = the static miss_threshold x heartbeat_ms deadline).
+    phi_threshold: float = 0.0
+    #: Default period of the membership server's durable soft-state
+    #: checkpoint (0 = no checkpointing: a crashed server restarts cold).
+    checkpoint_interval_ms: float = 0.0
     #: Default data-plane fault model for frame dissemination over this
     #: session's overlay forest (the data mirror of the control knobs
     #: above; 0/0/0 = the deterministic paper setting).
@@ -123,6 +130,15 @@ class SessionConfig:
             raise SessionError(
                 f"retransmit_timeout_ms must be >= 0, got "
                 f"{self.retransmit_timeout_ms}"
+            )
+        if not (math.isfinite(self.phi_threshold) and self.phi_threshold >= 0):
+            raise SessionError(
+                f"phi_threshold must be finite and >= 0, got {self.phi_threshold}"
+            )
+        if not self.checkpoint_interval_ms >= 0:
+            raise SessionError(
+                f"checkpoint_interval_ms must be >= 0, got "
+                f"{self.checkpoint_interval_ms}"
             )
         if (
             not 0.0 <= self.data_loss_rate <= 1.0
@@ -180,6 +196,11 @@ class TISession:
     heartbeat_ms: float = 0.0
     miss_threshold: int = 3
     retransmit_timeout_ms: float = 0.0
+    #: Default φ-accrual threshold / checkpoint period for the service's
+    #: adaptive failure detection and server crash recovery; resolved
+    #: the same way (0 = static deadline / no checkpointing).
+    phi_threshold: float = 0.0
+    checkpoint_interval_ms: float = 0.0
     #: Default data-plane fault model for dissemination over this
     #: session's forests; :func:`~repro.sim.dataplane.make_dataplane`
     #: callers resolve their own ``None`` knobs against these.
@@ -210,12 +231,15 @@ class TISession:
             or self.heartbeat_ms < 0
             or self.miss_threshold < 1
             or self.retransmit_timeout_ms < 0
+            or not (math.isfinite(self.phi_threshold) and self.phi_threshold >= 0)
+            or not self.checkpoint_interval_ms >= 0
         ):
             raise SessionError(
                 "invalid control-plane fault knobs: loss "
                 f"{self.control_loss_rate}, jitter {self.control_jitter_ms}, "
                 f"heartbeat {self.heartbeat_ms}, miss {self.miss_threshold}, "
-                f"retransmit {self.retransmit_timeout_ms}"
+                f"retransmit {self.retransmit_timeout_ms}, phi "
+                f"{self.phi_threshold}, checkpoint {self.checkpoint_interval_ms}"
             )
         if (
             not 0.0 <= self.data_loss_rate <= 1.0
@@ -354,6 +378,8 @@ def build_session(
         heartbeat_ms=config.heartbeat_ms,
         miss_threshold=config.miss_threshold,
         retransmit_timeout_ms=config.retransmit_timeout_ms,
+        phi_threshold=config.phi_threshold,
+        checkpoint_interval_ms=config.checkpoint_interval_ms,
         data_loss_rate=config.data_loss_rate,
         data_jitter_ms=config.data_jitter_ms,
         data_duplicate_rate=config.data_duplicate_rate,

@@ -6,6 +6,8 @@ names the offending parameter, keeping call sites one-liners.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ConfigurationError
 
 
@@ -17,10 +19,22 @@ def check_positive(name: str, value: float) -> float:
 
 
 def check_non_negative(name: str, value: float) -> float:
-    """Require ``value >= 0``; return it for chaining."""
-    if value < 0:
+    """Require ``value >= 0`` (NaN rejected); return it for chaining.
+
+    Written as ``not value >= 0`` rather than ``value < 0`` so that NaN —
+    for which every comparison is False — fails instead of slipping
+    through as "not negative".
+    """
+    if not value >= 0:
         raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
     return value
+
+
+def check_finite_non_negative(name: str, value: float) -> float:
+    """Require a finite ``value >= 0`` (NaN and inf rejected)."""
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return check_non_negative(name, value)
 
 
 def check_probability(name: str, value: float) -> float:
@@ -117,3 +131,34 @@ def check_drift_mode(value: str) -> str:
             f"unknown drift mode {value!r}; expected one of: {known}"
         )
     return value
+
+
+def check_phi_threshold(value: float) -> float:
+    """Validate a φ-accrual suspicion threshold.
+
+    ``0`` disables the adaptive detector (the static
+    ``miss_threshold x heartbeat_ms`` deadline applies); any positive
+    finite value arms it.  NaN, inf and negatives are configuration
+    errors — a NaN threshold would silently disable every suspicion
+    (``phi > NaN`` is always False), which is the worst failure mode a
+    failure detector can have.
+    """
+    return check_finite_non_negative("phi_threshold", value)
+
+
+def check_disjoint_windows(name: str, windows) -> None:
+    """Require ``[start_ms, end_ms)`` windows that do not overlap.
+
+    ``windows`` is any iterable of objects with ``start_ms``/``end_ms``
+    attributes (e.g. :class:`repro.pubsub.faults.ServerOutageWindow`).
+    Overlapping or touching-out-of-order windows are rejected: two
+    concurrent outages of one server have no meaning, and accepting
+    them would make crash/recover timers fire out of order.
+    """
+    ordered = sorted(windows, key=lambda w: (w.start_ms, w.end_ms))
+    for before, after in zip(ordered, ordered[1:]):
+        if after.start_ms < before.end_ms:
+            raise ConfigurationError(
+                f"{name} windows overlap: [{before.start_ms}, {before.end_ms}) "
+                f"and [{after.start_ms}, {after.end_ms})"
+            )

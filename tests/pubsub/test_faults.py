@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.pubsub.faults import FaultConfig, FaultyLink, PartitionWindow
+from repro.pubsub.faults import (
+    FaultConfig,
+    FaultyLink,
+    PartitionWindow,
+    ServerOutageWindow,
+)
 from repro.sim.engine import Simulator
 from repro.util.rng import RngStream
 
@@ -182,3 +187,46 @@ class TestConfigValidation:
             FaultConfig(duplicate_rate=-0.1)
         with pytest.raises(ConfigurationError):
             FaultConfig(jitter_ms=-1.0)
+
+
+class TestOutageWindowValidation:
+    def test_bad_bounds_rejected_with_the_offending_values(self):
+        with pytest.raises(ConfigurationError, match="start must be >= 0"):
+            ServerOutageWindow(-1.0, 50.0)
+        with pytest.raises(ConfigurationError, match="end 50.0 must be after"):
+            ServerOutageWindow(50.0, 50.0)
+        with pytest.raises(ConfigurationError, match="end 10.0 must be after"):
+            ServerOutageWindow(50.0, 10.0)
+
+    def test_overlapping_outages_rejected_with_both_windows_named(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"server outage windows overlap: \[100.0, 300.0\) and "
+            r"\[200.0, 400.0\)",
+        ):
+            FaultConfig(
+                outages=(
+                    ServerOutageWindow(100.0, 300.0),
+                    ServerOutageWindow(200.0, 400.0),
+                )
+            )
+
+    def test_overlap_check_is_order_independent(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            FaultConfig(
+                outages=(
+                    ServerOutageWindow(200.0, 400.0),
+                    ServerOutageWindow(100.0, 300.0),
+                )
+            )
+
+    def test_disjoint_and_touching_windows_accepted(self):
+        config = FaultConfig(
+            outages=(
+                ServerOutageWindow(100.0, 200.0),
+                ServerOutageWindow(200.0, 300.0),
+            )
+        )
+        # Outages impair the server, not the link: the link keeps its
+        # zero-fault fast path.
+        assert not config.impaired

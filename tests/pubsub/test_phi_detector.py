@@ -1,0 +1,161 @@
+"""Unit tests for the φ-accrual failure detector.
+
+The detector's contract has two halves the static deadline cannot offer
+at once: on a quiet link a silent peer is suspected *no later* than the
+static ``miss_threshold x heartbeat_ms`` bound, and on a lossy link the
+widened inter-arrival history keeps a merely-unlucky peer below the
+threshold where the static deadline would already have fired.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pubsub.detector import PhiAccrualDetector
+from repro.util.rng import RngStream
+
+HEARTBEAT_MS = 40.0
+
+
+def quiet_detector(threshold: float = 8.0) -> PhiAccrualDetector:
+    return PhiAccrualDetector(
+        threshold=threshold, initial_interval_ms=HEARTBEAT_MS
+    )
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("threshold", (0.0, -1.0, float("nan")))
+    def test_bad_threshold_rejected(self, threshold):
+        with pytest.raises(ConfigurationError):
+            PhiAccrualDetector(threshold=threshold, initial_interval_ms=40.0)
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            PhiAccrualDetector(
+                threshold=8.0, initial_interval_ms=40.0, window=1
+            )
+
+
+class TestScoring:
+    def test_unknown_peer_scores_zero(self):
+        detector = quiet_detector()
+        assert not detector.known(3)
+        assert detector.phi(3, 1000.0) == 0.0
+        assert not detector.suspect(3, 1000.0)
+
+    def test_phi_grows_monotonically_with_silence(self):
+        detector = quiet_detector()
+        now = 0.0
+        for _ in range(10):
+            detector.observe(0, now)
+            now += HEARTBEAT_MS
+        scores = [detector.phi(0, now + k * HEARTBEAT_MS) for k in range(6)]
+        assert scores == sorted(scores)
+        assert scores[0] < 1.0  # just after a beat: not suspicious
+        assert scores[-1] > 8.0  # five missed beats on a metronome: dead
+
+    def test_quiet_link_detects_no_later_than_static_bound(self):
+        """On a jitter-free cadence φ=8 fires within the static
+        ``miss_threshold(3) + 1`` beat envelope the chaos scenarios pin."""
+        detector = quiet_detector(threshold=8.0)
+        now = 0.0
+        for _ in range(20):
+            detector.observe(0, now)
+            now += HEARTBEAT_MS
+        last_beat = now - HEARTBEAT_MS
+        static_deadline = last_beat + 4 * HEARTBEAT_MS
+        assert detector.suspect(0, static_deadline)
+
+    def test_lossy_history_widens_the_threshold(self):
+        """The same silence is less suspicious to a peer whose history
+        already contains loss-stretched inter-arrivals."""
+        quiet, lossy = quiet_detector(), quiet_detector()
+        rng = RngStream(7, label="phi-loss")
+        now_q = now_l = 0.0
+        for _ in range(40):
+            quiet.observe(0, now_q)
+            now_q += HEARTBEAT_MS
+            lossy.observe(0, now_l)
+            # 20% loss: each gap is 1+Geometric(0.8) beats long.
+            gap = 1
+            while rng.random() < 0.2:
+                gap += 1
+            now_l += gap * HEARTBEAT_MS
+        silence = 3 * HEARTBEAT_MS
+        assert quiet.phi(0, now_q - HEARTBEAT_MS + silence) > lossy.phi(
+            0, now_l - gap * HEARTBEAT_MS + silence
+        )
+
+    def test_no_false_suspicion_across_a_lossy_trace(self):
+        """Replaying a seeded 20%-loss beat trace, φ=8 never fires at
+        any surviving arrival instant — the adaptive window absorbs the
+        gaps a static 3-beat deadline would misread as death."""
+        detector = quiet_detector(threshold=8.0)
+        rng = RngStream(23, label="phi-trace")
+        now = 0.0
+        detector.observe(0, now)
+        static_false = 0
+        last = 0.0
+        for _ in range(300):
+            gap = 1
+            while rng.random() < 0.2:
+                gap += 1
+            now += gap * HEARTBEAT_MS
+            assert not detector.suspect(0, now), f"false suspicion at {now}"
+            if now - last > 3 * HEARTBEAT_MS:
+                static_false += 1
+            detector.observe(0, now)
+            last = now
+        assert static_false > 0  # the static deadline would have fired
+
+    def test_phi_saturates_instead_of_overflowing(self):
+        detector = quiet_detector()
+        detector.observe(0, 0.0)
+        assert detector.phi(0, 1e12) == 300.0
+
+
+class TestObserveVersusTouch:
+    def test_touch_resets_silence_without_sampling(self):
+        detector = quiet_detector()
+        now = 0.0
+        for _ in range(5):
+            detector.observe(0, now)
+            now += HEARTBEAT_MS
+        samples_before = list(detector._samples[0])
+        detector.touch(0, now + 1.0)  # a report, mid-cadence
+        assert list(detector._samples[0]) == samples_before
+        assert detector.phi(0, now + 1.0) == 0.0
+
+    def test_cadence_survives_interleaved_touches(self):
+        """Bursty report traffic between beats must not shrink the
+        estimated inter-arrival; the next observe still samples a full
+        beat-to-beat interval."""
+        detector = quiet_detector()
+        detector.observe(0, 0.0)
+        detector.touch(0, 10.0)
+        detector.touch(0, 20.0)
+        detector.observe(0, HEARTBEAT_MS)
+        assert HEARTBEAT_MS in detector._samples[0]
+        assert not any(
+            math.isclose(s, HEARTBEAT_MS - 20.0) for s in detector._samples[0]
+        )
+
+    def test_touch_alone_makes_peer_scoreable(self):
+        detector = quiet_detector()
+        detector.touch(0, 0.0)
+        assert detector.known(0)
+        assert detector.phi(0, 10 * HEARTBEAT_MS) > 8.0
+
+    def test_forget_and_reset_clear_all_history(self):
+        detector = quiet_detector()
+        detector.observe(0, 0.0)
+        detector.observe(1, 0.0)
+        detector.forget(0)
+        assert not detector.known(0)
+        assert detector.known(1)
+        detector.reset()
+        assert not detector.known(1)
+        assert detector.phi(1, 1000.0) == 0.0

@@ -43,6 +43,9 @@ class TestRegistry:
             "lossy-dissemination",
             "lossy-flash-crowd",
             "partitioned-churn",
+            "server-crash-flash-crowd",
+            "server-crash-partition-overlap",
+            "server-restart-churn",
         ]
 
     def test_base_family_unpolluted(self):
